@@ -1,0 +1,260 @@
+// Command repro regenerates the paper's evaluation: every table and
+// figure, printed as text tables and ASCII charts.
+//
+// Usage:
+//
+//	repro              # run the full evaluation (E1-E14)
+//	repro -exp fig20   # run a single experiment
+//	repro -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	apusim "repro"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+	run  func() (string, error)
+}{
+	{"table1", "Peak ops/clock/CU, CDNA 2 vs CDNA 3", func() (string, error) {
+		return apusim.ExperimentTable1().String(), nil
+	}},
+	{"fig7", "IOD interface bandwidths", func() (string, error) {
+		_, t, err := apusim.ExperimentFig7()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"fig12a", "Power distribution per workload scenario", func() (string, error) {
+		_, t := apusim.ExperimentFig12a()
+		return t.String(), nil
+	}},
+	{"fig12bc", "Thermal maps, GPU- vs memory-intensive", func() (string, error) {
+		ts, err := apusim.ExperimentFig12bc(96, 60)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, t := range ts {
+			fmt.Fprintf(&b, "%s: peak %.1f°C at %s (XCD mean %.1f°C, USR mean %.1f°C)\n",
+				t.Name, t.PeakC, t.HotspotComponent, t.XCDMeanC, t.USRMeanC)
+		}
+		b.WriteString("(render the maps with cmd/thermalmap)\n")
+		return b.String(), nil
+	}},
+	{"fig13", "Cooperative multi-XCD dispatch flow", func() (string, error) {
+		r, err := apusim.ExperimentFig13()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("1 AQL packet: %d ACE decodes, per-XCD workgroups %v, %d sync messages, completed at %v\n",
+			r.PacketsDecoded, r.PerXCD, r.SyncMessages, r.Completion), nil
+	}},
+	{"fig14", "CPU-only vs discrete vs APU programs", func() (string, error) {
+		_, t, err := apusim.ExperimentFig14(1 << 22)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"fig15", "Fine-grained GPU/CPU overlap", func() (string, error) {
+		r, err := apusim.ExperimentFig15(1<<20, 64)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("coarse %v, fine-grained %v, speedup %.2fx (verified=%v)\n",
+			r.CoarseTotal, r.FineTotal, r.Speedup, r.Verified), nil
+	}},
+	{"fig17", "Partitioning modes", func() (string, error) {
+		t, err := apusim.ExperimentFig17()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"fig18", "Node topologies", func() (string, error) {
+		_, t, err := apusim.ExperimentFig18()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"fig19", "Generational uplift", func() (string, error) {
+		_, t := apusim.ExperimentFig19()
+		bw, err := apusim.MeasuredBandwidths()
+		if err != nil {
+			return "", err
+		}
+		return t.String() + bw.String(), nil
+	}},
+	{"fig20", "HPC workload speedups MI300A vs MI250X", func() (string, error) {
+		_, s, err := apusim.ExperimentFig20()
+		if err != nil {
+			return "", err
+		}
+		return s.BarChart(40), nil
+	}},
+	{"fig21", "Llama-2 70B inference latency", func() (string, error) {
+		_, t, err := apusim.ExperimentFig21()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"ehpv4", "§III EHPv4 shortcoming ablation", func() (string, error) {
+		_, t, err := apusim.ExperimentEHPv4()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"tsv", "Figs. 8-10 TSV/mirroring validation", func() (string, error) {
+		r, err := apusim.ExperimentTSVAlignment()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("signal TSVs %d (%d redundant), P/G TSVs %d, %d permutations aligned, MI300A=%v MI300X=%v\n",
+			r.SignalTSVs, r.RedundantTSVs, r.PGTSVs, r.Permutations, r.MI300AValid, r.MI300XValid), nil
+	}},
+	{"fig11", "Hybrid bond interface: V-Cache vs MI300 RDL landing", func() (string, error) {
+		_, t, err := apusim.ExperimentBondInterface()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"shim", "§VI.B shim library CPU/GPU dispatch crossover", func() (string, error) {
+		_, t, err := apusim.ExperimentShim()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"managed", "Page-migration pseudo-unified memory vs APU", func() (string, error) {
+		_, t, err := apusim.ExperimentManagedMemory(1 << 22)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"policy", "§VI.A workgroup scheduling policy ablation", func() (string, error) {
+		_, t, err := apusim.ExperimentPolicyAblation()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"powershift", "§V.E dynamic vs static power budget ablation", func() (string, error) {
+		_, t := apusim.ExperimentPowerShiftAblation()
+		return t.String(), nil
+	}},
+	{"scopes", "§IV.D cross-socket GPU coherence scopes", func() (string, error) {
+		_, t, err := apusim.ExperimentCoherenceScopes()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"scale", "Strong scaling across the Fig. 18a node", func() (string, error) {
+		_, t, err := apusim.ExperimentStrongScale()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"isolation", "NPS1 vs NPS4 tenant isolation", func() (string, error) {
+		_, t, err := apusim.ExperimentTenantIsolation()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}},
+	{"efficiency", "Perf/W: MI300A vs MI250X on the Fig. 20 suite", func() (string, error) {
+		_, t, err := apusim.ExperimentEfficiency()
+		if err != nil {
+			return "", err
+		}
+		te, err := apusim.ExperimentEnergyPerPhase()
+		if err != nil {
+			return "", err
+		}
+		return t.String() + te.String(), nil
+	}},
+	{"prefetch", "Infinity Cache stream prefetcher ablation", func() (string, error) {
+		r, err := apusim.ExperimentPrefetchAblation()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("sequential-stream hit rate: prefetch on %.2f, off %.2f\n",
+			r.HitRateOn, r.HitRateOff), nil
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	tracePrefix := flag.String("trace", "", "write Chrome traces to <prefix>-fig14.json and <prefix>-dispatch.json")
+	flag.Parse()
+
+	if *tracePrefix != "" {
+		if err := writeTraces(*tracePrefix); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "" && e.id != *exp {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n== %s: %s ==\n", e.id, e.desc)
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeTraces exports the Fig. 14 program timelines and a Fig. 13
+// dispatch as Chrome traces.
+func writeTraces(prefix string) error {
+	f14, err := os.Create(prefix + "-fig14.json")
+	if err != nil {
+		return err
+	}
+	defer f14.Close()
+	if _, err := apusim.WriteFig14Trace(f14, 1<<22); err != nil {
+		return err
+	}
+	fd, err := os.Create(prefix + "-dispatch.json")
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	if _, err := apusim.WriteDispatchTrace(fd); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s-fig14.json and %s-dispatch.json\n", prefix, prefix)
+	return nil
+}

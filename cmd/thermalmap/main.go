@@ -1,0 +1,70 @@
+// Command thermalmap renders the Fig. 12(b)/(c) thermal simulations as
+// ASCII heat maps on stdout, and optionally as PGM images.
+//
+// Usage:
+//
+//	thermalmap                 # ASCII maps for both scenarios
+//	thermalmap -nx 192 -ny 120 # finer grid
+//	thermalmap -pgm out        # additionally write out-gpu.pgm / out-mem.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	apusim "repro"
+)
+
+func main() {
+	nx := flag.Int("nx", 96, "grid cells in x")
+	ny := flag.Int("ny", 60, "grid cells in y")
+	pgm := flag.String("pgm", "", "write <prefix>-gpu.pgm and <prefix>-mem.pgm")
+	flag.Parse()
+
+	scenarios, err := apusim.ExperimentFig12bc(*nx, *ny)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermalmap: %v\n", err)
+		os.Exit(1)
+	}
+	suffix := []string{"gpu", "mem"}
+	for i, s := range scenarios {
+		fmt.Printf("\n%s — peak %.1f°C at %s (XCD mean %.1f°C, USR PHY mean %.1f°C)\n\n",
+			s.Name, s.PeakC, s.HotspotComponent, s.XCDMeanC, s.USRMeanC)
+		fmt.Print(s.Field.Render())
+		if *pgm != "" {
+			name := fmt.Sprintf("%s-%s.pgm", *pgm, suffix[i])
+			if err := writePGM(name, s); err != nil {
+				fmt.Fprintf(os.Stderr, "thermalmap: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", name)
+		}
+	}
+}
+
+// writePGM writes the field as an 8-bit portable graymap (hotter =
+// brighter), y flipped so the image matches the ASCII orientation.
+func writePGM(name string, s apusim.ThermalScenario) error {
+	f := s.Field
+	lo := f.Min()
+	hi, _, _ := f.Max()
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	out, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	fmt.Fprintf(out, "P2\n%d %d\n255\n", f.Nx, f.Ny)
+	for j := f.Ny - 1; j >= 0; j-- {
+		for i := 0; i < f.Nx; i++ {
+			v := int((f.T[j][i] - lo) / span * 255)
+			fmt.Fprintf(out, "%d ", v)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command topoviz draws ASCII views of the modeled hardware: the MI300A /
+// MI300X package floorplans (Figs. 6 and 16), the in-package fabric, the
+// node topologies of Fig. 18, and the partitioning table of Fig. 17.
+//
+// Usage:
+//
+//	topoviz               # everything
+//	topoviz -view package # just the floorplans
+//	topoviz -view node    # just the node topologies
+//	topoviz -view part    # just the partition table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	apusim "repro"
+	"repro/internal/chiplet"
+	"repro/internal/topology"
+)
+
+func main() {
+	view := flag.String("view", "all", "package | node | part | all")
+	width := flag.Int("width", 110, "floorplan render width in characters")
+	flag.Parse()
+
+	switch *view {
+	case "package", "node", "part", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "topoviz: unknown view %q\n", *view)
+		os.Exit(2)
+	}
+
+	if *view == "all" || *view == "package" {
+		for _, pkg := range []*chiplet.Package{chiplet.AssembleMI300A(), chiplet.AssembleMI300X()} {
+			if err := pkg.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "topoviz: %s: %v\n", pkg.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n=== %s package floorplan (X=XCD C=CCD H=HBM p=HBM-PHY u=USR-PHY .=IOD) ===\n\n", pkg.Name)
+			fmt.Print(renderFloorplan(pkg, *width))
+		}
+	}
+
+	if *view == "all" || *view == "node" {
+		for _, mk := range []func() (*apusim.Node, error){apusim.QuadAPUNode, apusim.OctoAcceleratorNode, topology.FrontierNode} {
+			n, err := mk()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n=== %s node (Fig. 18) ===\n", n.Name)
+			fmt.Printf("fully connected: %v, bisection %0.f GB/s per direction\n",
+				n.IsFullyConnected(), n.BisectionBWPerDir()/1e9)
+			for _, c := range n.Connections {
+				fmt.Printf("  %-6s --%s(%0.f GB/s/dir)--> %s\n", c.A, c.Use, c.BWPerDir/1e9, c.B)
+			}
+		}
+	}
+
+	if *view == "all" || *view == "part" {
+		t, err := apusim.ExperimentFig17()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", t.String())
+	}
+}
+
+// renderFloorplan rasterizes the package components into a character grid.
+func renderFloorplan(pkg *chiplet.Package, width int) string {
+	b := pkg.Bounds()
+	if width < 20 {
+		width = 20
+	}
+	height := width * b.H / b.W / 2 // terminal cells are ~2x taller than wide
+	if height < 10 {
+		height = 10
+	}
+	grid := make([][]byte, height)
+	for j := range grid {
+		grid[j] = make([]byte, width)
+		for i := range grid[j] {
+			grid[j][i] = ' '
+		}
+	}
+	glyph := map[chiplet.ComponentKind]byte{
+		chiplet.CompIOD:    '.',
+		chiplet.CompXCD:    'X',
+		chiplet.CompCCD:    'C',
+		chiplet.CompHBM:    'H',
+		chiplet.CompHBMPHY: 'p',
+		chiplet.CompUSRPHY: 'u',
+	}
+	// Paint IODs first so chiplets overwrite them (3D stacking).
+	comps := pkg.Floorplan()
+	order := []chiplet.ComponentKind{
+		chiplet.CompIOD, chiplet.CompHBM, chiplet.CompHBMPHY,
+		chiplet.CompUSRPHY, chiplet.CompXCD, chiplet.CompCCD,
+	}
+	for _, kind := range order {
+		for _, c := range comps {
+			if c.Kind != kind {
+				continue
+			}
+			x0 := c.Rect.X * width / b.W
+			x1 := (c.Rect.X + c.Rect.W) * width / b.W
+			y0 := c.Rect.Y * height / b.H
+			y1 := (c.Rect.Y + c.Rect.H) * height / b.H
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			if y1 <= y0 {
+				y1 = y0 + 1
+			}
+			for j := y0; j < y1 && j < height; j++ {
+				for i := x0; i < x1 && i < width; i++ {
+					grid[j][i] = glyph[kind]
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	for j := height - 1; j >= 0; j-- {
+		sb.Write(grid[j])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+// Llminference reproduces the Fig. 21 serving scenario — Llama-2 70B at
+// batch size 1 with 2048 input and 128 output tokens — and then sweeps
+// output length to show where the bandwidth-bound decode phase dominates
+// and why MI300X's 192 GB / 5.3 TB/s memory system is the right shape for
+// LLMs (§VII).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apusim "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("=== Fig. 21: Llama-2 70B, BS=1, 2048 in / 128 out ===")
+	rows, table, err := apusim.ExperimentFig21()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table.String())
+	for _, r := range rows {
+		if !r.WeightsFit {
+			fmt.Printf("note: %s cannot hold the FP16 weights in 80 GB — the capacity argument of §VII\n", r.Config)
+		}
+	}
+
+	// Sweep output length on MI300X: prompt cost amortizes away and the
+	// per-token bandwidth wall takes over.
+	fmt.Println("\n=== MI300X vLLM FP16: output-length sweep ===")
+	mi300x, err := apusim.NewMI300X()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := workload.Llama2_70B()
+	cfg := workload.Fig21Configs()["mi300x-vllm"]
+	fmt.Printf("%8s %12s %12s %10s\n", "out-toks", "total", "decode", "tok/s")
+	for _, out := range []int{16, 64, 128, 512, 2048} {
+		req := workload.InferenceRequest{Batch: 1, InputTokens: 2048, OutputTokens: out}
+		r, err := workload.RunInference(mi300x, model, cfg, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12v %12v %10.1f\n", out, r.Total, r.DecodeTime, r.TokensPerSec)
+	}
+
+	// The same request on MI250X (FP16, vLLM-class stack) for the
+	// generational view.
+	fmt.Println("\n=== Generational: same stack on MI250X ===")
+	mi250x, err := apusim.NewMI250X()
+	if err != nil {
+		log.Fatal(err)
+	}
+	old := cfg
+	old.Label = "MI250X vLLM FP16"
+	r, err := workload.RunInference(mi250x, model, old, workload.Fig21Request())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: total %v (%.2f ms/token, weights fit: %v)\n",
+		r.Config, r.Total, r.PerTokenTime.Milliseconds(), r.WeightsFit)
+}

@@ -1,0 +1,68 @@
+// Partitioning demonstrates the Fig. 17 deployment modes: MI300A's six
+// XCDs as one SPX device versus three TPX partitions, and MI300X's CPX
+// mode with NPS4 memory domains mapped to SR-IOV virtual functions for
+// multi-tenant serving. It then actually runs the same kernel on an SPX
+// partition and on a TPX partition to show the resource split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apusim "repro"
+	"repro/internal/gpu"
+)
+
+func main() {
+	fmt.Println("=== Fig. 17: supported partitioning modes ===")
+	table, err := apusim.ExperimentFig17()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table.String())
+
+	// Configure MI300X CPX + NPS4: eight single-XCD partitions, four
+	// dedicated memory domains, one PCIe VF per partition.
+	cpx, err := apusim.ConfigurePartitions(apusim.SpecMI300X(), "CPX", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== MI300X CPX + NPS4 tenant map ===")
+	for _, vf := range cpx.VFs {
+		xcds := cpx.Assignments[vf.Partition]
+		fmt.Printf("  VF%d -> partition %d (XCDs %v), %d CUs, %.0f GB/s dedicated, %d GB domain share\n",
+			vf.Index, vf.Partition, xcds, cpx.CUsPerPartition(),
+			cpx.BWPerPartition()/1e9, cpx.MemoryPerDomain>>30)
+	}
+
+	// Now run the same kernel on MI300A in SPX vs one TPX partition.
+	apu, err := apusim.NewMI300A()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpx0, err := apu.NewPartitionOf("tpx0", []int{0, 1}, gpu.PolicyRoundRobin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := &apusim.KernelSpec{
+		Name:  "flops",
+		Class: apusim.Matrix, Dtype: apusim.FP16,
+		FlopsPerItem: 2e5,
+	}
+	const items = 228 * 2 * 256
+	spxDone, err := apu.GPU.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, x := range apu.XCDs {
+		x.ResetStats()
+	}
+	tpxDone, err := tpx0.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Same kernel, SPX (6 XCDs) vs TPX partition (2 XCDs) ===")
+	fmt.Printf("  SPX: %d CUs -> %v\n", apu.GPU.TotalCUs(), spxDone)
+	fmt.Printf("  TPX: %d CUs -> %v (%.2fx slower: one third of the compute)\n",
+		tpx0.TotalCUs(), tpxDone, float64(tpxDone)/float64(spxDone))
+}

@@ -1,0 +1,211 @@
+// Package cache implements the cache hierarchy models: a generic
+// set-associative cache with LRU replacement used for the CU L1D, the
+// shared instruction caches, the XCD L2, and the CCD L2/L3; and the
+// memory-side Infinity Cache (§IV.D) — 2 MB per memory channel, with a
+// stream prefetcher — whose job in MI300 is bandwidth amplification for
+// the HBM rather than coherence participation.
+package cache
+
+import "fmt"
+
+// Stats accumulates cache event counts.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Prefetches uint64
+	PrefHits   uint64 // hits on prefetched lines
+}
+
+// Accesses reports hits+misses.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate reports the hit fraction (0 when untouched).
+func (s *Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(a)
+}
+
+type line struct {
+	tag        int64
+	valid      bool
+	dirty      bool
+	prefetched bool
+}
+
+// SetAssoc is a set-associative cache with true-LRU replacement. It is a
+// tag store only: data lives in the functional mem.Space, so the cache
+// tracks presence and dirtiness for timing and traffic accounting.
+type SetAssoc struct {
+	Name     string
+	LineSize int64
+	Ways     int
+	Sets     int
+	stats    Stats
+	// sets[s] holds up to Ways lines ordered most-recent-first.
+	sets [][]line
+}
+
+// NewSetAssoc builds a cache of the given total size. Size must be a
+// multiple of lineSize×ways and the set count must be a power of two.
+func NewSetAssoc(name string, size, lineSize int64, ways int) *SetAssoc {
+	if size <= 0 || lineSize <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d line=%d ways=%d", size, lineSize, ways))
+	}
+	lines := size / lineSize
+	sets := int(lines) / ways
+	if sets == 0 || int64(sets*ways)*lineSize != size {
+		panic(fmt.Sprintf("cache: %s size %d not divisible into %d-way sets of %d-byte lines", name, size, ways, lineSize))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s set count %d not a power of two", name, sets))
+	}
+	c := &SetAssoc{Name: name, LineSize: lineSize, Ways: ways, Sets: sets}
+	c.sets = make([][]line, sets)
+	return c
+}
+
+// Size reports total capacity in bytes.
+func (c *SetAssoc) Size() int64 { return int64(c.Sets*c.Ways) * c.LineSize }
+
+// Stats returns a copy of the counters.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *SetAssoc) ResetStats() { c.stats = Stats{} }
+
+func (c *SetAssoc) index(addr int64) (set int, tag int64) {
+	lineAddr := addr / c.LineSize
+	return int(lineAddr) & (c.Sets - 1), lineAddr
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	Hit bool
+	// Evicted reports whether a valid line was displaced.
+	Evicted bool
+	// WritebackAddr is the byte address of the dirty victim line when a
+	// writeback is required (valid only if Writeback).
+	Writeback     bool
+	WritebackAddr int64
+}
+
+// Access looks up the line containing addr, filling on miss, and returns
+// what happened. write marks the line dirty.
+func (c *SetAssoc) Access(addr int64, write bool) Result {
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			// Hit: move to front (MRU).
+			ln := s[i]
+			if ln.prefetched {
+				c.stats.PrefHits++
+				ln.prefetched = false
+			}
+			if write {
+				ln.dirty = true
+			}
+			copy(s[1:i+1], s[:i])
+			s[0] = ln
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	return c.fill(set, tag, write, false)
+}
+
+// fill inserts a line at MRU, evicting LRU if the set is full.
+func (c *SetAssoc) fill(set int, tag int64, dirty, prefetched bool) Result {
+	s := c.sets[set]
+	var res Result
+	if len(s) < c.Ways {
+		s = append(s, line{})
+		copy(s[1:], s[:len(s)-1])
+	} else {
+		victim := s[len(s)-1]
+		if victim.valid {
+			res.Evicted = true
+			c.stats.Evictions++
+			if victim.dirty {
+				res.Writeback = true
+				res.WritebackAddr = victim.tag * c.LineSize
+				c.stats.Writebacks++
+			}
+		}
+		copy(s[1:], s[:len(s)-1])
+	}
+	s[0] = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetched}
+	c.sets[set] = s
+	return res
+}
+
+// Contains reports whether addr's line is present (no LRU update).
+func (c *SetAssoc) Contains(addr int64) bool {
+	set, tag := c.index(addr)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefetch inserts addr's line if absent, marking it prefetched. It
+// reports whether a fill actually happened.
+func (c *SetAssoc) Prefetch(addr int64) bool {
+	if c.Contains(addr) {
+		return false
+	}
+	set, tag := c.index(addr)
+	c.fill(set, tag, false, true)
+	c.stats.Prefetches++
+	return true
+}
+
+// Invalidate drops addr's line, reporting whether it was present and dirty.
+func (c *SetAssoc) Invalidate(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			present, dirty = true, s[i].dirty
+			copy(s[i:], s[i+1:])
+			c.sets[set] = s[:len(s)-1]
+			return
+		}
+	}
+	return
+}
+
+// Flush invalidates everything, returning the number of dirty lines that
+// would be written back.
+func (c *SetAssoc) Flush() (writebacks int) {
+	for i := range c.sets {
+		for _, ln := range c.sets[i] {
+			if ln.valid && ln.dirty {
+				writebacks++
+			}
+		}
+		c.sets[i] = nil
+	}
+	return
+}
+
+// Occupancy reports the number of valid lines.
+func (c *SetAssoc) Occupancy() int {
+	var n int
+	for _, s := range c.sets {
+		for _, ln := range s {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

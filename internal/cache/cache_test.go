@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSetAssocHitAfterFill(t *testing.T) {
+	c := NewSetAssoc("l1", 32*1024, 128, 8)
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Error("warm access missed")
+	}
+	if r := c.Access(0x1000+64, false); !r.Hit {
+		t.Error("same-line access missed")
+	}
+	if r := c.Access(0x1000+128, false); r.Hit {
+		t.Error("next-line access hit without fill")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 128B lines: total 512B.
+	c := NewSetAssoc("tiny", 512, 128, 2)
+	// Three lines mapping to set 0 (line addresses 0, 2, 4).
+	c.Access(0*128, false)
+	c.Access(2*128, false)
+	c.Access(0*128, false) // touch line 0: now MRU
+	c.Access(4*128, false) // evicts line 2 (LRU)
+	if !c.Contains(0 * 128) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(2 * 128) {
+		t.Error("LRU line survived")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestSetAssocWritebackOnDirtyEviction(t *testing.T) {
+	c := NewSetAssoc("tiny", 256, 128, 1) // direct-mapped, 2 sets
+	c.Access(0, true)                     // dirty line at set 0
+	r := c.Access(2*128, false)           // conflicts with set 0
+	if !r.Writeback || r.WritebackAddr != 0 {
+		t.Errorf("expected writeback of addr 0, got %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Error("writeback not counted")
+	}
+}
+
+func TestSetAssocInvalidate(t *testing.T) {
+	c := NewSetAssoc("l1", 1024, 128, 2)
+	c.Access(0, true)
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v, %v", present, dirty)
+	}
+	if c.Contains(0) {
+		t.Error("line survived invalidate")
+	}
+	present, _ = c.Invalidate(0)
+	if present {
+		t.Error("double invalidate found line")
+	}
+}
+
+func TestSetAssocFlush(t *testing.T) {
+	c := NewSetAssoc("l1", 2048, 128, 2)
+	c.Access(0, true)
+	c.Access(128, false)
+	c.Access(256, true)
+	if wb := c.Flush(); wb != 2 {
+		t.Errorf("Flush writebacks = %d, want 2", wb)
+	}
+	if c.Occupancy() != 0 {
+		t.Error("Flush left lines")
+	}
+}
+
+func TestSetAssocBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets did not panic")
+		}
+	}()
+	NewSetAssoc("bad", 3*128, 128, 1)
+}
+
+// Property: occupancy never exceeds capacity and hit+miss == accesses.
+func TestSetAssocInvariantsProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := NewSetAssoc("p", 4096, 128, 4)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(int64(a), w)
+		}
+		if c.Occupancy() > 32 { // 4096/128
+			return false
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an access immediately after an access to the same line hits.
+func TestSetAssocTemporalLocalityProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewSetAssoc("p", 64*1024, 128, 8)
+		for _, a := range addrs {
+			c.Access(int64(a), false)
+			if r := c.Access(int64(a), false); !r.Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfinityCacheGeometry(t *testing.T) {
+	// MI300A: 128 slices × 2 MiB = 256 MiB.
+	ic := NewInfinityCache(128, 2<<20, 17e12, 20*sim.Nanosecond, true)
+	if got := ic.TotalBytes(); got != 256<<20 {
+		t.Errorf("TotalBytes = %d, want 256 MiB", got)
+	}
+	if ic.Slices() != 128 {
+		t.Errorf("Slices = %d", ic.Slices())
+	}
+}
+
+func TestInfinityCacheHitServesWithoutHBM(t *testing.T) {
+	ic := NewInfinityCache(4, 2<<20, 1e12, 0, false)
+	r1 := ic.Access(0, 0, 0, 128, false)
+	if r1.Hit || r1.HBMBytes == 0 {
+		t.Errorf("cold access: %+v", r1)
+	}
+	r2 := ic.Access(r1.Done, 0, 0, 128, false)
+	if !r2.Hit || r2.HBMBytes != 0 {
+		t.Errorf("warm access: %+v", r2)
+	}
+}
+
+func TestInfinityCacheStreamPrefetch(t *testing.T) {
+	ic := NewInfinityCache(1, 2<<20, 1e12, 0, true)
+	var now sim.Time
+	// Sequential line misses should trigger next-line prefetches, so
+	// after a warmup the stream starts hitting on prefetched lines.
+	for i := int64(0); i < 64; i++ {
+		r := ic.Access(now, 0, i*128, 128, false)
+		now = r.Done
+	}
+	st := ic.Stats()
+	if st.Prefetches == 0 {
+		t.Fatal("stream prefetcher never fired")
+	}
+	if st.PrefHits == 0 {
+		t.Fatal("prefetched lines never hit")
+	}
+	if st.HitRate() < 0.4 {
+		t.Errorf("sequential stream hit rate = %.2f, want >= 0.4 with prefetch", st.HitRate())
+	}
+}
+
+func TestInfinityCacheNoPrefetchLowerHitRate(t *testing.T) {
+	with := NewInfinityCache(1, 2<<20, 1e12, 0, true)
+	without := NewInfinityCache(1, 2<<20, 1e12, 0, false)
+	for i := int64(0); i < 256; i++ {
+		with.Access(0, 0, i*128, 128, false)
+		without.Access(0, 0, i*128, 128, false)
+	}
+	if with.HitRate() <= without.HitRate() {
+		t.Errorf("prefetch hit rate %.2f should exceed no-prefetch %.2f",
+			with.HitRate(), without.HitRate())
+	}
+}
+
+func TestEffectiveBW(t *testing.T) {
+	// At 100% hit rate the effective BW is the cache BW; at 0% the HBM BW.
+	if got := EffectiveBW(1, 17e12, 5.3e12); got != 17e12 {
+		t.Errorf("EffectiveBW(1) = %g", got)
+	}
+	if got := EffectiveBW(0, 17e12, 5.3e12); got != 5.3e12 {
+		t.Errorf("EffectiveBW(0) = %g", got)
+	}
+	mid := EffectiveBW(0.5, 17e12, 5.3e12)
+	if mid <= 5.3e12 || mid >= 17e12 {
+		t.Errorf("EffectiveBW(0.5) = %g, want between HBM and cache BW", mid)
+	}
+	// Clamping.
+	if EffectiveBW(-1, 17e12, 5.3e12) != 5.3e12 || EffectiveBW(2, 17e12, 5.3e12) != 17e12 {
+		t.Error("EffectiveBW did not clamp")
+	}
+}
+
+// Property: EffectiveBW is monotonic in hit rate.
+func TestEffectiveBWMonotonicProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ha, hb := float64(a)/255, float64(b)/255
+		if ha > hb {
+			ha, hb = hb, ha
+		}
+		return EffectiveBW(ha, 17e12, 5.3e12) <= EffectiveBW(hb, 17e12, 5.3e12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	c := NewSetAssoc("l2", 4<<20, 128, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i*64)%(8<<20), i%3 == 0)
+	}
+}

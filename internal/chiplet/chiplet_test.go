@@ -1,0 +1,263 @@
+package chiplet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientationTransforms(t *testing.T) {
+	p := Point{100, 200}
+	w, h := 1000, 800
+	if got := (Orientation{}).Apply(p, w, h); got != p {
+		t.Errorf("identity = %v", got)
+	}
+	if got := (Orientation{Mirrored: true}).Apply(p, w, h); got != (Point{900, 200}) {
+		t.Errorf("mirror = %v", got)
+	}
+	if got := (Orientation{Rot180: true}).Apply(p, w, h); got != (Point{900, 600}) {
+		t.Errorf("rot180 = %v", got)
+	}
+	if got := (Orientation{Mirrored: true, Rot180: true}).Apply(p, w, h); got != (Point{100, 600}) {
+		t.Errorf("mirror+rot = %v", got)
+	}
+}
+
+// Property: every orientation is an involution when applied twice with the
+// same flags... mirror and rot180 are each involutions; applying the full
+// orientation twice returns the original point.
+func TestOrientationInvolutionProperty(t *testing.T) {
+	f := func(x, y uint16, m, r bool) bool {
+		w, h := 70000, 50000
+		p := Point{int(x), int(y)}
+		o := Orientation{Mirrored: m, Rot180: r}
+		return o.Apply(o.Apply(p, w, h), w, h) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeXorsFlags(t *testing.T) {
+	m := Orientation{Mirrored: true}
+	r := Orientation{Rot180: true}
+	if got := m.Compose(m); got != (Orientation{}) {
+		t.Errorf("m∘m = %v", got)
+	}
+	if got := m.Compose(r); got != (Orientation{Mirrored: true, Rot180: true}) {
+		t.Errorf("m∘r = %v", got)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{10, 10, 100, 50}
+	if !r.Contains(Point{10, 10}) || r.Contains(Point{110, 10}) {
+		t.Error("Contains edges wrong")
+	}
+	if r.Center() != (Point{60, 35}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Area() != 5000 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if !r.Overlaps(Rect{100, 40, 20, 20}) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if r.Overlaps(Rect{110, 10, 20, 20}) {
+		t.Error("touching rects reported overlapping")
+	}
+}
+
+func TestPGGridInvariance(t *testing.T) {
+	// §V.D: one uniform P/G TSV grid must line up for every permutation
+	// of mirrored/rotated IOD.
+	d := NewIODDesign()
+	if err := d.CheckPGInvariance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGGridDensity(t *testing.T) {
+	d := NewIODDesign()
+	g := d.PGGrid()
+	// 100µm pitch over 24×20mm: 240×200 TSVs.
+	if g.Len() != 240*200 {
+		t.Errorf("P/G TSVs = %d, want 48000", g.Len())
+	}
+	// >1.5 A/mm² over an XCD footprint (93.5 mm²) is > 140 A.
+	if amps := d.PGCurrentCapacity(Rect{0, 0, 11000, 8500}); amps < 140 {
+		t.Errorf("XCD current capacity = %.1f A, want > 140", amps)
+	}
+}
+
+func TestAlignmentAllPermutations(t *testing.T) {
+	// The Fig. 9 invariant: non-mirrored CCDs and XCDs land on every
+	// mirrored/rotated IOD instance.
+	d := NewIODDesign()
+	for _, o := range AllOrientations() {
+		for _, kind := range []ComputeKind{ComputeXCD, ComputeCCD} {
+			if err := d.CheckAlignment(o, kind); err != nil {
+				t.Errorf("%s/%s: %v", o, kind, err)
+			}
+		}
+	}
+}
+
+func TestRedundantTSVsExist(t *testing.T) {
+	// Mirroring support requires extra sites beyond what the normal
+	// instance uses (the red circles of Fig. 9)...
+	d := NewIODDesign()
+	red := d.RedundantSites()
+	if red.Len() == 0 {
+		t.Fatal("no redundant TSV sites; mirroring support is vacuous")
+	}
+	// ...and the mirrored instance actually uses some of them.
+	usedByMirrored := make(PointSet)
+	for _, kind := range []ComputeKind{ComputeXCD, ComputeCCD} {
+		for _, pc := range d.PlacedChiplets(Orientation{Mirrored: true}, kind) {
+			for p := range pc.Pads {
+				usedByMirrored.Add(Orientation{Mirrored: true}.Apply(p, d.W, d.H))
+			}
+		}
+	}
+	var hits int
+	for p := range red {
+		if usedByMirrored.Has(p) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("mirrored instance uses none of the redundant sites")
+	}
+}
+
+func TestAlignmentFailsForForeignDie(t *testing.T) {
+	// Sanity: a die whose pads were NOT co-planned with the IOD must not
+	// silently align (guards against a vacuously-passing checker).
+	d := NewIODDesign()
+	rogue := &DieSpec{Name: "rogue", Kind: DieXCD, W: 11000, H: 8500,
+		SignalPads: padGrid(Point{1501, 1501}, 8, 5, 700)} // 1µm off
+	pads := rogue.PlacedPads(Point{d.xcdSlots[0].X, d.xcdSlots[0].Y}, Orientation{})
+	if len(pads.MissingFrom(d.PlacedSites(Orientation{}))) == 0 {
+		t.Error("misaligned rogue die passed alignment")
+	}
+}
+
+func TestUSRPairingAllAdjacencies(t *testing.T) {
+	p := AssembleMI300A()
+	for _, adj := range adjacency {
+		a, b := p.IODs[adj.a], p.IODs[adj.b]
+		if err := CheckUSRPairing(p.Design, a.Orient, adj.edge, p.Design, b.Orient); err != nil {
+			t.Errorf("%s-%s: %v", a.Name, b.Name, err)
+		}
+	}
+}
+
+func TestUSRPairingFailsWithoutMirrorFix(t *testing.T) {
+	// Two normal IODs side by side: A's east TX lanes would face B's
+	// east-design lanes on the wrong edge entirely — exactly why the
+	// mirrored tapeout exists.
+	d := NewIODDesign()
+	err := CheckUSRPairing(d, Orientation{}, East, d, Orientation{})
+	if err == nil {
+		t.Error("two normal IODs paired east-west without mirroring; should fail")
+	}
+}
+
+func TestAssembleMI300A(t *testing.T) {
+	p := AssembleMI300A()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.XCDCount() != 6 || p.CCDCount() != 3 {
+		t.Errorf("MI300A = %d XCDs / %d CCDs, want 6/3", p.XCDCount(), p.CCDCount())
+	}
+	if len(p.HBM) != 8 {
+		t.Errorf("HBM stacks = %d, want 8", len(p.HBM))
+	}
+}
+
+func TestAssembleMI300X(t *testing.T) {
+	p := AssembleMI300X()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.XCDCount() != 8 || p.CCDCount() != 0 {
+		t.Errorf("MI300X = %d XCDs / %d CCDs, want 8/0", p.XCDCount(), p.CCDCount())
+	}
+}
+
+func TestModularSwapSharesIODDesign(t *testing.T) {
+	// §VII: MI300A and MI300X use the exact same IOD design; only the
+	// stacked chiplets differ.
+	a, x := AssembleMI300A(), AssembleMI300X()
+	if a.Design.SignalTSVs.Len() != x.Design.SignalTSVs.Len() {
+		t.Error("MI300A and MI300X IOD designs diverged")
+	}
+	for i := range a.IODs {
+		if a.IODs[i].Orient != x.IODs[i].Orient || a.IODs[i].Offset != x.IODs[i].Offset {
+			t.Errorf("IOD %d placement differs between A and X", i)
+		}
+	}
+}
+
+func TestFloorplanComponents(t *testing.T) {
+	p := AssembleMI300A()
+	counts := map[ComponentKind]int{}
+	for _, c := range p.Floorplan() {
+		counts[c.Kind]++
+	}
+	if counts[CompXCD] != 6 || counts[CompCCD] != 3 || counts[CompIOD] != 4 || counts[CompHBM] != 8 {
+		t.Errorf("floorplan counts = %v", counts)
+	}
+	if counts[CompHBMPHY] != 8 {
+		t.Errorf("HBM PHYs = %d, want 8", counts[CompHBMPHY])
+	}
+	// Each IOD has USR on exactly 2 facing edges.
+	if counts[CompUSRPHY] != 8 {
+		t.Errorf("USR PHY strips = %d, want 8", counts[CompUSRPHY])
+	}
+	b := p.Bounds()
+	if b.W <= 0 || b.H <= 0 {
+		t.Error("degenerate bounds")
+	}
+	for _, c := range p.Floorplan() {
+		if c.Rect.X < 0 || c.Rect.Y < 0 || c.Rect.X+c.Rect.W > b.W || c.Rect.Y+c.Rect.H > b.H {
+			t.Errorf("%s outside package bounds", c.Name)
+		}
+	}
+}
+
+func TestChipletsWithinIOD(t *testing.T) {
+	d := NewIODDesign()
+	iod := Rect{0, 0, d.W, d.H}
+	for _, o := range AllOrientations() {
+		for _, kind := range []ComputeKind{ComputeXCD, ComputeCCD} {
+			for _, pc := range d.PlacedChiplets(o, kind) {
+				r := pc.Rect
+				if r.X < 0 || r.Y < 0 || r.X+r.W > iod.W || r.Y+r.H > iod.H {
+					t.Errorf("%s/%s: chiplet %v outside IOD", o, kind, r)
+				}
+			}
+		}
+	}
+}
+
+// Property: grid points are always invariant under mirroring for
+// even-margin geometries.
+func TestGridMirrorInvarianceProperty(t *testing.T) {
+	f := func(nxRaw, pitchRaw uint8) bool {
+		pitch := int(pitchRaw)%50*2 + 10 // even pitch
+		nx := int(nxRaw)%50 + 2
+		w := nx*pitch + pitch // even margins by construction
+		g := Grid(w, w, pitch)
+		for p := range g {
+			if !g.Has(Point{w - p.X, p.Y}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package chiplet
+
+import "fmt"
+
+// DieKind classifies dies in the package.
+type DieKind int
+
+const (
+	DieIOD DieKind = iota
+	DieXCD
+	DieCCD
+	DieHBM
+)
+
+// String names the die kind.
+func (k DieKind) String() string {
+	switch k {
+	case DieIOD:
+		return "IOD"
+	case DieXCD:
+		return "XCD"
+	case DieCCD:
+		return "CCD"
+	case DieHBM:
+		return "HBM"
+	default:
+		return fmt.Sprintf("DieKind(%d)", int(k))
+	}
+}
+
+// DieSpec is the physical design of one die: outline and bond-pad-metal
+// (BPM) signal pad positions in design coordinates (µm, origin lower-left).
+// Power/ground pads are not stored per die: both CCDs and XCDs adopt the
+// IOD's uniform P/G TSV grid (§V.D), so their P/G landing positions are
+// the grid points under the die's footprint.
+type DieSpec struct {
+	Name       string
+	Kind       DieKind
+	W, H       int
+	SignalPads PointSet
+}
+
+// padGrid builds a rectangular pad cluster: cols×rows pads at pitch,
+// anchored at origin.
+func padGrid(origin Point, cols, rows, pitch int) PointSet {
+	s := make(PointSet, cols*rows)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			s.Add(Point{origin.X + i*pitch, origin.Y + j*pitch})
+		}
+	}
+	return s
+}
+
+// XCDDie returns the model XCD physical design. The XCD was designed for
+// MI300, so its 3D interface is a single deliberate cluster placed to meet
+// the IOD below (§V.B); the cluster is intentionally off-center so that
+// orientation genuinely matters in alignment checks.
+func XCDDie() *DieSpec {
+	return &DieSpec{
+		Name: "XCD", Kind: DieXCD,
+		W: 11000, H: 8500,
+		SignalPads: padGrid(Point{1500, 1500}, 8, 5, 700),
+	}
+}
+
+// CCDDie returns the model "Zen 4" CCD: a reused EPYC die where the 3D
+// interfaces were squeezed into floorplan whitespace (Fig. 8a), hence two
+// small irregular clusters rather than one tidy block.
+func CCDDie() *DieSpec {
+	d := &DieSpec{
+		Name: "CCD", Kind: DieCCD,
+		W: 7000, H: 6000,
+		SignalPads: padGrid(Point{800, 700}, 4, 3, 600),
+	}
+	d.SignalPads.Union(padGrid(Point{4600, 3700}, 3, 2, 600))
+	return d
+}
+
+// HBMDie returns the model HBM stack outline (no 3D pads: HBM attaches to
+// the interposer with microbumps, not hybrid bonding).
+func HBMDie() *DieSpec {
+	return &DieSpec{Name: "HBM", Kind: DieHBM, W: 8000, H: 9500}
+}
+
+// PlacedPads returns the die's signal pads in placed coordinates for a
+// chiplet sitting at origin with the given orientation.
+func (d *DieSpec) PlacedPads(origin Point, o Orientation) PointSet {
+	out := make(PointSet, len(d.SignalPads))
+	for p := range d.SignalPads {
+		out.Add(origin.Add(o.Apply(p, d.W, d.H)))
+	}
+	return out
+}

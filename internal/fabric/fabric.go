@@ -1,0 +1,365 @@
+// Package fabric models the Infinity Fabric interconnect as a generic
+// network-on-chip: named nodes joined by directed links with per-link
+// bandwidth, latency, and occupancy tracking. Because MI300's physical
+// construction spans four IODs, the "NoC" here routinely crosses die
+// boundaries (§IV.A); the link kinds (on-die, USR, SerDes, IFOP, PCIe)
+// carry the bandwidth and energy characteristics of each crossing.
+//
+// Timing uses a cut-through occupancy model: a transfer claims each link on
+// its path in order, queueing behind earlier traffic (per-link busy
+// horizon), paying the link's latency for the header and the serialization
+// time for the payload. This reproduces both bandwidth saturation under
+// contention and latency accumulation over multi-hop paths (such as
+// EHPv4's two-hop CPU→HBM path, §III.B) without flit-level state.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node in the network.
+type NodeID int
+
+// NodeKind classifies fabric endpoints for reporting and routing policy.
+type NodeKind int
+
+const (
+	KindIOD NodeKind = iota
+	KindXCD
+	KindCCD
+	KindHBM
+	KindIOPort
+	KindHost
+	KindOther
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindIOD:
+		return "IOD"
+	case KindXCD:
+		return "XCD"
+	case KindCCD:
+		return "CCD"
+	case KindHBM:
+		return "HBM"
+	case KindIOPort:
+		return "IOPort"
+	case KindHost:
+		return "Host"
+	default:
+		return "Other"
+	}
+}
+
+// Node is a fabric endpoint or switch.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+}
+
+// Link is a directed connection with fixed bandwidth and latency.
+type Link struct {
+	ID      int
+	Name    string
+	Kind    config.LinkKind
+	Src     NodeID
+	Dst     NodeID
+	BW      float64  // bytes/sec
+	Latency sim.Time // header latency
+
+	busyUntil sim.Time
+	bytes     uint64
+}
+
+// SerializationTime reports how long the payload occupies the link.
+func (l *Link) SerializationTime(bytes int64) sim.Time {
+	if bytes <= 0 || l.BW <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(bytes) / l.BW)
+}
+
+// BytesCarried reports total payload bytes that have crossed the link.
+func (l *Link) BytesCarried() uint64 { return l.bytes }
+
+// BusyUntil reports the link's current occupancy horizon.
+func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
+
+// Utilization reports the fraction of [0, horizon] the link spent busy,
+// approximated from bytes carried.
+func (l *Link) Utilization(horizon sim.Time) float64 {
+	if horizon <= 0 || l.BW <= 0 {
+		return 0
+	}
+	return float64(l.bytes) / l.BW / horizon.Seconds()
+}
+
+// EnergyPJ reports transport energy consumed so far in picojoules.
+func (l *Link) EnergyPJ() float64 {
+	return float64(l.bytes) * 8 * l.Kind.EnergyPerBit()
+}
+
+// Network is a static-topology NoC with deterministic shortest-path routing.
+type Network struct {
+	nodes []*Node
+	links []*Link
+	adj   map[NodeID][]*Link
+	// routes caches hop-minimal paths keyed by src<<32|dst.
+	routes map[int64][]*Link
+	// priority links form the high-priority communication channel used
+	// for ACE-to-ACE synchronization (§VI.A); keyed like routes.
+	priorityLat map[int64]sim.Time
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		adj:         make(map[NodeID][]*Link),
+		routes:      make(map[int64][]*Link),
+		priorityLat: make(map[int64]sim.Time),
+	}
+}
+
+// AddNode creates a node and returns it.
+func (n *Network) AddNode(name string, kind NodeKind) *Node {
+	node := &Node{ID: NodeID(len(n.nodes)), Name: name, Kind: kind}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id]
+}
+
+// NodeByName finds a node by name, or nil.
+func (n *Network) NodeByName(name string) *Node {
+	for _, node := range n.nodes {
+		if node.Name == name {
+			return node
+		}
+	}
+	return nil
+}
+
+// Nodes returns all nodes.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Links returns all directed links.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect adds a bidirectional connection (two directed links) between a
+// and b with the given per-direction bandwidth and latency. It returns the
+// a→b link.
+func (n *Network) Connect(a, b NodeID, kind config.LinkKind, bwPerDir float64, latency sim.Time) *Link {
+	fwd := n.addLink(a, b, kind, bwPerDir, latency)
+	n.addLink(b, a, kind, bwPerDir, latency)
+	n.routes = make(map[int64][]*Link) // invalidate route cache
+	return fwd
+}
+
+func (n *Network) addLink(src, dst NodeID, kind config.LinkKind, bw float64, lat sim.Time) *Link {
+	if n.Node(src) == nil || n.Node(dst) == nil {
+		panic(fmt.Sprintf("fabric: connecting unknown nodes %d-%d", src, dst))
+	}
+	l := &Link{
+		ID:   len(n.links),
+		Name: fmt.Sprintf("%s->%s", n.nodes[src].Name, n.nodes[dst].Name),
+		Kind: kind, Src: src, Dst: dst, BW: bw, Latency: lat,
+	}
+	n.links = append(n.links, l)
+	n.adj[src] = append(n.adj[src], l)
+	return l
+}
+
+func routeKey(src, dst NodeID) int64 { return int64(src)<<32 | int64(uint32(dst)) }
+
+// Route returns a hop-minimal path from src to dst (ties broken by lowest
+// total latency, then by link insertion order for determinism). It returns
+// an error if dst is unreachable.
+func (n *Network) Route(src, dst NodeID) ([]*Link, error) {
+	if src == dst {
+		return nil, nil
+	}
+	key := routeKey(src, dst)
+	if p, ok := n.routes[key]; ok {
+		return p, nil
+	}
+	p, err := n.bfs(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	n.routes[key] = p
+	return p, nil
+}
+
+func (n *Network) bfs(src, dst NodeID) ([]*Link, error) {
+	type state struct {
+		hops int
+		lat  sim.Time
+		via  *Link
+		prev NodeID
+	}
+	best := map[NodeID]state{src: {}}
+	frontier := []NodeID{src}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, u := range frontier {
+			su := best[u]
+			links := append([]*Link(nil), n.adj[u]...)
+			sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+			for _, l := range links {
+				cand := state{hops: su.hops + 1, lat: su.lat + l.Latency, via: l, prev: u}
+				sv, seen := best[l.Dst]
+				if !seen || cand.hops < sv.hops || (cand.hops == sv.hops && cand.lat < sv.lat) {
+					best[l.Dst] = cand
+					next = append(next, l.Dst)
+				}
+			}
+		}
+		frontier = next
+	}
+	if _, ok := best[dst]; !ok {
+		return nil, fmt.Errorf("fabric: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name)
+	}
+	var path []*Link
+	for at := dst; at != src; {
+		s := best[at]
+		path = append(path, s.via)
+		at = s.prev
+	}
+	// Reverse into src->dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Transfer moves bytes from src to dst starting at start, queueing behind
+// earlier traffic on each link. It returns the completion time of the last
+// byte at dst.
+func (n *Network) Transfer(start sim.Time, src, dst NodeID, bytes int64) (sim.Time, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return n.TransferPath(start, path, bytes), nil
+}
+
+// TransferPath is Transfer over an explicit path (useful once a route has
+// been resolved and reused).
+func (n *Network) TransferPath(start sim.Time, path []*Link, bytes int64) sim.Time {
+	arrive := start
+	end := start
+	for _, l := range path {
+		txStart := arrive
+		if l.busyUntil > txStart {
+			txStart = l.busyUntil
+		}
+		ser := l.SerializationTime(bytes)
+		txEnd := txStart + ser
+		l.busyUntil = txEnd
+		if bytes > 0 {
+			l.bytes += uint64(bytes)
+		}
+		// Cut-through: the head proceeds after the link latency; the
+		// tail arrives when serialization completes downstream.
+		arrive = txStart + l.Latency
+		if txEnd+l.Latency > end {
+			end = txEnd + l.Latency
+		}
+	}
+	return end
+}
+
+// PathLatency reports the no-contention header latency along src->dst.
+func (n *Network) PathLatency(src, dst NodeID) (sim.Time, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	var lat sim.Time
+	for _, l := range path {
+		lat += l.Latency
+	}
+	return lat, nil
+}
+
+// PathBandwidth reports the bottleneck bandwidth along src->dst.
+func (n *Network) PathBandwidth(src, dst NodeID) (float64, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if len(path) == 0 {
+		return 0, fmt.Errorf("fabric: zero-hop path has no bandwidth")
+	}
+	bw := path[0].BW
+	for _, l := range path[1:] {
+		if l.BW < bw {
+			bw = l.BW
+		}
+	}
+	return bw, nil
+}
+
+// Hops reports the hop count from src to dst.
+func (n *Network) Hops(src, dst NodeID) (int, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(path), nil
+}
+
+// Signal models a message on the high-priority communication channel the
+// Infinity Fabric provides for ACE-ACE synchronization (§VI.A): it pays
+// path latency plus a fixed small per-hop arbitration cost but does not
+// queue behind bulk traffic and does not consume link bandwidth.
+func (n *Network) Signal(start sim.Time, src, dst NodeID) (sim.Time, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	t := start
+	for _, l := range path {
+		t += l.Latency + 2*sim.Nanosecond
+	}
+	return t, nil
+}
+
+// TotalEnergyPJ sums transport energy over all links.
+func (n *Network) TotalEnergyPJ() float64 {
+	var e float64
+	for _, l := range n.links {
+		e += l.EnergyPJ()
+	}
+	return e
+}
+
+// TotalBytes sums payload bytes over all links (each hop counted).
+func (n *Network) TotalBytes() uint64 {
+	var b uint64
+	for _, l := range n.links {
+		b += l.bytes
+	}
+	return b
+}
+
+// ResetStats clears per-link occupancy and byte counters, keeping topology.
+func (n *Network) ResetStats() {
+	for _, l := range n.links {
+		l.busyUntil = 0
+		l.bytes = 0
+	}
+}

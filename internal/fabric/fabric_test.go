@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// line builds A - B - C with given bandwidths.
+func line(t *testing.T, bwAB, bwBC float64) (*Network, NodeID, NodeID, NodeID) {
+	t.Helper()
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	c := n.AddNode("C", KindIOD).ID
+	n.Connect(a, b, config.LinkUSR, bwAB, 10*sim.Nanosecond)
+	n.Connect(b, c, config.LinkUSR, bwBC, 10*sim.Nanosecond)
+	return n, a, b, c
+}
+
+func TestRouteShortestPath(t *testing.T) {
+	n, a, _, c := line(t, 1e12, 1e12)
+	path, err := n.Route(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("path length = %d, want 2", len(path))
+	}
+	// Add a direct link; route should now be 1 hop.
+	n.Connect(a, c, config.LinkSerDes, 1e11, 50*sim.Nanosecond)
+	path, err = n.Route(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Fatalf("after direct link, path length = %d, want 1", len(path))
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	if _, err := n.Route(a, b); err == nil {
+		t.Error("expected unreachable error")
+	}
+}
+
+func TestRouteToSelfIsEmpty(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	path, err := n.Route(a, a)
+	if err != nil || len(path) != 0 {
+		t.Errorf("self route = %v, %v", path, err)
+	}
+}
+
+func TestTransferSerialization(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindHBM).ID
+	n.Connect(a, b, config.LinkOnDie, 1e9, 0) // 1 GB/s, no latency
+	end, err := n.Transfer(0, a, b, 1e9)      // 1 GB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := end.Seconds(); got < 0.999 || got > 1.001 {
+		t.Errorf("1 GB over 1 GB/s took %v s, want ~1", got)
+	}
+}
+
+func TestTransferContentionQueues(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindHBM).ID
+	n.Connect(a, b, config.LinkOnDie, 1e9, 0)
+	end1, _ := n.Transfer(0, a, b, 1e9)
+	end2, _ := n.Transfer(0, a, b, 1e9) // same instant: must queue
+	if end2 <= end1 {
+		t.Errorf("second transfer finished at %v, not after first %v", end2, end1)
+	}
+	if got := end2.Seconds(); got < 1.999 || got > 2.001 {
+		t.Errorf("queued transfer finished at %v s, want ~2", got)
+	}
+}
+
+func TestTransferBottleneckBandwidth(t *testing.T) {
+	n, a, _, c := line(t, 2e12, 1e11) // BC is 20x slower
+	bytes := int64(1e10)
+	end, err := n.Transfer(0, a, c, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominated by BC serialization: 1e10 B / 1e11 B/s = 100 ms.
+	if got := end.Milliseconds(); got < 99 || got > 102 {
+		t.Errorf("bottleneck transfer = %v ms, want ~100", got)
+	}
+	bw, _ := n.PathBandwidth(a, c)
+	if bw != 1e11 {
+		t.Errorf("PathBandwidth = %g, want 1e11", bw)
+	}
+}
+
+func TestPathLatencyAccumulates(t *testing.T) {
+	n, a, _, c := line(t, 1e12, 1e12)
+	lat, err := n.PathLatency(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 20*sim.Nanosecond {
+		t.Errorf("PathLatency = %v, want 20ns", lat)
+	}
+	hops, _ := n.Hops(a, c)
+	if hops != 2 {
+		t.Errorf("Hops = %d, want 2", hops)
+	}
+}
+
+func TestSignalIgnoresBulkTraffic(t *testing.T) {
+	n, a, _, c := line(t, 1e12, 1e12)
+	// Saturate the links with a huge transfer.
+	n.Transfer(0, a, c, 1e12)
+	// A priority signal at t=0 must not queue behind it.
+	at, err := n.Signal(0, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at > 100*sim.Nanosecond {
+		t.Errorf("priority signal delivered at %v; should not queue behind bulk", at)
+	}
+}
+
+func TestLinkStatsAndEnergy(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	l := n.Connect(a, b, config.LinkUSR, 1e12, sim.Nanosecond)
+	n.Transfer(0, a, b, 1000)
+	if l.BytesCarried() != 1000 {
+		t.Errorf("BytesCarried = %d", l.BytesCarried())
+	}
+	// USR: 0.4 pJ/bit × 8000 bits = 3200 pJ.
+	if got := l.EnergyPJ(); got != 3200 {
+		t.Errorf("EnergyPJ = %g, want 3200", got)
+	}
+	if n.TotalBytes() != 1000 {
+		t.Errorf("TotalBytes = %d", n.TotalBytes())
+	}
+	n.ResetStats()
+	if l.BytesCarried() != 0 || l.BusyUntil() != 0 {
+		t.Error("ResetStats did not clear link state")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	l := n.Connect(a, b, config.LinkUSR, 1e9, 0)
+	n.Transfer(0, a, b, 5e8) // 0.5 s busy
+	if u := l.Utilization(sim.Second); u < 0.49 || u > 0.51 {
+		t.Errorf("Utilization = %g, want ~0.5", u)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	n := New()
+	n.AddNode("iod0", KindIOD)
+	x := n.AddNode("xcd0", KindXCD)
+	if got := n.NodeByName("xcd0"); got == nil || got.ID != x.ID {
+		t.Error("NodeByName failed")
+	}
+	if n.NodeByName("nope") != nil {
+		t.Error("NodeByName returned phantom node")
+	}
+	if n.Node(NodeID(99)) != nil {
+		t.Error("out-of-range Node lookup should be nil")
+	}
+}
+
+// Property: transfers never complete before their no-contention lower
+// bound (serialization at bottleneck + total latency), and later transfers
+// on the same path never finish before earlier ones.
+func TestTransferLowerBoundProperty(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		n, a, _, c := line(t, 1e12, 5e11)
+		lat, _ := n.PathLatency(a, c)
+		bw, _ := n.PathBandwidth(a, c)
+		var prevEnd sim.Time
+		for _, s := range sizes {
+			bytes := int64(s)
+			end, err := n.Transfer(0, a, c, bytes)
+			if err != nil {
+				return false
+			}
+			lower := lat + sim.FromSeconds(float64(bytes)/bw)
+			if end < lower {
+				return false
+			}
+			if end < prevEnd {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: routes are symmetric in hop count for symmetric topologies.
+func TestRouteSymmetryProperty(t *testing.T) {
+	// Build a 2x2 mesh like MI300's four IODs.
+	n := New()
+	ids := make([]NodeID, 4)
+	for i := range ids {
+		ids[i] = n.AddNode([]string{"IOD-A", "IOD-B", "IOD-C", "IOD-D"}[i], KindIOD).ID
+	}
+	n.Connect(ids[0], ids[1], config.LinkUSR, 1.5e12, 5*sim.Nanosecond) // A-B
+	n.Connect(ids[2], ids[3], config.LinkUSR, 1.5e12, 5*sim.Nanosecond) // C-D
+	n.Connect(ids[0], ids[2], config.LinkUSR, 1.2e12, 5*sim.Nanosecond) // A-C
+	n.Connect(ids[1], ids[3], config.LinkUSR, 1.2e12, 5*sim.Nanosecond) // B-D
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			hij, err1 := n.Hops(ids[i], ids[j])
+			hji, err2 := n.Hops(ids[j], ids[i])
+			if err1 != nil || err2 != nil || hij != hji {
+				t.Errorf("asymmetric hops %d<->%d: %d vs %d", i, j, hij, hji)
+			}
+			if hij > 2 {
+				t.Errorf("2x2 mesh should reach any IOD in <=2 hops, got %d", hij)
+			}
+		}
+	}
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	c := n.AddNode("C", KindIOD).ID
+	mid := n.AddNode("B", KindIOD).ID
+	n.Connect(a, mid, config.LinkUSR, 1.5e12, 5*sim.Nanosecond)
+	n.Connect(mid, c, config.LinkUSR, 1.5e12, 5*sim.Nanosecond)
+	path, _ := n.Route(a, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TransferPath(sim.Time(i), path, 4096)
+	}
+}

@@ -1,0 +1,383 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/hsa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func testXCDs(n int) []*XCD {
+	spec := config.MI300A().XCD
+	rng := sim.NewRNG(1)
+	xs := make([]*XCD, n)
+	for i := range xs {
+		xs[i] = NewXCD(i, spec, rng)
+	}
+	return xs
+}
+
+func TestYieldHarvesting(t *testing.T) {
+	x := testXCDs(1)[0]
+	if got := x.EnabledCUs(); got != 38 {
+		t.Errorf("enabled CUs = %d, want 38 (§IV.B)", got)
+	}
+	if got := len(x.CUs()); got != 40 {
+		t.Errorf("physical CUs = %d, want 40", got)
+	}
+	var disabled int
+	for _, c := range x.CUs() {
+		if c.Disabled {
+			disabled++
+		}
+	}
+	if disabled != 2 {
+		t.Errorf("disabled CUs = %d, want 2", disabled)
+	}
+}
+
+func TestPartitionAssignRoundRobinVsBlock(t *testing.T) {
+	xs := testXCDs(4)
+	env := &ExecEnv{}
+	rr := NewPartition("rr", xs, env, PolicyRoundRobin)
+	blk := NewPartition("blk", xs, env, PolicyBlock)
+
+	a := rr.assign(10)
+	if len(a[0]) != 3 || a[0][1] != 4 {
+		t.Errorf("round-robin assignment wrong: %v", a)
+	}
+	b := blk.assign(10)
+	if len(b[0]) != 3 || b[0][2] != 2 {
+		t.Errorf("block assignment wrong: %v", b)
+	}
+	// Both cover all workgroups exactly once.
+	for name, asn := range map[string][][]int{"rr": a, "blk": b} {
+		seen := make(map[int]bool)
+		for _, wgs := range asn {
+			for _, wg := range wgs {
+				if seen[wg] {
+					t.Errorf("%s: workgroup %d assigned twice", name, wg)
+				}
+				seen[wg] = true
+			}
+		}
+		if len(seen) != 10 {
+			t.Errorf("%s: covered %d of 10 workgroups", name, len(seen))
+		}
+	}
+}
+
+// Property: any workgroup count is fully and uniquely covered by both
+// policies over any partition width.
+func TestAssignCoverageProperty(t *testing.T) {
+	xs := testXCDs(6)
+	f := func(n uint16, block bool) bool {
+		pol := PolicyRoundRobin
+		if block {
+			pol = PolicyBlock
+		}
+		p := NewPartition("p", xs, nil, pol)
+		nWG := int(n)%2000 + 1
+		seen := make(map[int]bool)
+		for _, wgs := range p.assign(nWG) {
+			for _, wg := range wgs {
+				if wg < 0 || wg >= nWG || seen[wg] {
+					return false
+				}
+				seen[wg] = true
+			}
+		}
+		return len(seen) == nWG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDispatchExecutesFunctionally(t *testing.T) {
+	// A real vector-add: y[i] += x[i] across 6 XCDs with one unified
+	// memory, checking the multi-XCD decomposition computes every element
+	// exactly once.
+	space := mem.NewSpace("hbm", 1<<30)
+	const n = 4096
+	xAddr, _ := space.Alloc(n*8, 0)
+	yAddr, _ := space.Alloc(n*8, 0)
+	for i := int64(0); i < n; i++ {
+		space.WriteFloat64(xAddr+i*8, float64(i))
+		space.WriteFloat64(yAddr+i*8, 1000)
+	}
+	env := &ExecEnv{Mem: space}
+	p := NewPartition("spx", testXCDs(6), env, PolicyRoundRobin)
+	k := &KernelSpec{
+		Name:  "vadd",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 1, BytesReadPerItem: 16, BytesWrittenPerItem: 8,
+		Body: func(env *ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			for l := 0; l < wgSize; l++ {
+				i := int64(wgID*wgSize + l)
+				if i >= n {
+					return
+				}
+				x := env.Mem.ReadFloat64(xAddr + i*8)
+				y := env.Mem.ReadFloat64(yAddr + i*8)
+				env.Mem.WriteFloat64(yAddr+i*8, x+y)
+			}
+		},
+	}
+	done, err := p.Dispatch(0, k, n, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Error("dispatch took no time")
+	}
+	for i := int64(0); i < n; i++ {
+		want := float64(i) + 1000
+		if got := space.ReadFloat64(yAddr + i*8); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// All 6 XCDs participated (round-robin, 16 workgroups).
+	var participating int
+	for _, x := range p.XCDs() {
+		if x.Stats().Workgroups > 0 {
+			participating++
+		}
+	}
+	if participating != 6 {
+		t.Errorf("%d XCDs participated, want 6", participating)
+	}
+}
+
+func TestMultiXCDFasterThanSingle(t *testing.T) {
+	// The same compute-bound kernel across 6 XCDs should be ~6x faster
+	// than on a 1-XCD partition.
+	k := &KernelSpec{
+		Name:  "flops",
+		Class: config.Matrix, Dtype: config.FP16,
+		FlopsPerItem: 1e6,
+	}
+	one := NewPartition("cpx", testXCDs(1), nil, PolicyRoundRobin)
+	six := NewPartition("spx", testXCDs(6), nil, PolicyRoundRobin)
+	const items = 228 * 4 * 256
+	d1, err := one.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d6, err := six.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(d1) / float64(d6)
+	if speedup < 4.5 || speedup > 6.5 {
+		t.Errorf("6-XCD speedup = %.2f, want ~6", speedup)
+	}
+}
+
+func TestCompletionSignalDecremented(t *testing.T) {
+	p := NewPartition("p", testXCDs(2), nil, PolicyRoundRobin)
+	q := hsa.NewQueue("q", 4)
+	sig := hsa.NewSignal("done", 1)
+	k := &KernelSpec{Name: "k", FlopsPerItem: 100, Class: config.Vector, Dtype: config.FP32}
+	q.Enqueue(hsa.Packet{
+		Type: hsa.PacketKernelDispatch, KernelName: "k",
+		Grid: hsa.Dim3{1024, 1, 1}, Workgroup: hsa.Dim3{256, 1, 1},
+		KernelObject: k, Completion: sig,
+	})
+	done, err := p.Process(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sig.Value(); v != 0 {
+		t.Errorf("signal = %d, want 0", v)
+	}
+	if st := sig.SetTime(); st != done {
+		t.Errorf("signal time %v != completion %v", st, done)
+	}
+	if q.Depth() != 0 {
+		t.Error("packet not retired")
+	}
+}
+
+func TestBarrierPacket(t *testing.T) {
+	p := NewPartition("p", testXCDs(1), nil, PolicyRoundRobin)
+	q := hsa.NewQueue("q", 4)
+	dep := hsa.NewSignal("dep", 1)
+	dep.Sub(5*sim.Microsecond, 1) // satisfied at t=5µs
+	out := hsa.NewSignal("out", 1)
+	q.Enqueue(hsa.Packet{Type: hsa.PacketBarrierAnd, BarrierDeps: []*hsa.Signal{dep}, Completion: out})
+	done, err := p.Process(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 5*sim.Microsecond {
+		t.Errorf("barrier completed at %v, want 5µs", done)
+	}
+	// Unsatisfied dependency errors out.
+	q.Enqueue(hsa.Packet{Type: hsa.PacketBarrierAnd, BarrierDeps: []*hsa.Signal{hsa.NewSignal("never", 1)}})
+	if _, err := p.Process(done, q); err == nil {
+		t.Error("unsatisfied barrier should fail")
+	}
+}
+
+func TestSyncMessagesCounted(t *testing.T) {
+	p := NewPartition("p", testXCDs(4), nil, PolicyRoundRobin)
+	k := &KernelSpec{Name: "k", FlopsPerItem: 10, Class: config.Vector, Dtype: config.FP32}
+	if _, err := p.Dispatch(0, k, 4096, 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Non-nominated XCDs (3 of 4) each send one completion sync message.
+	var msgs uint64
+	for _, x := range p.XCDs() {
+		msgs += x.Stats().SyncMessages
+	}
+	if msgs != 3 {
+		t.Errorf("sync messages = %d, want 3 (Fig. 13 ③)", msgs)
+	}
+}
+
+func TestMemBoundKernelUsesMemTime(t *testing.T) {
+	// Give the env a memory model that is clearly the bottleneck and
+	// check it dominates the kernel's duration.
+	h := mem.NewHBM("hbm", 8, 16, 5.3e12/8, 1<<30, 100*sim.Nanosecond)
+	var cursor int64
+	env := &ExecEnv{
+		MemTime: func(start sim.Time, xcd int, bytes int64, write bool) sim.Time {
+			addr := cursor % (1 << 28)
+			cursor += bytes
+			return h.Access(start, addr, bytes, write)
+		},
+	}
+	p := NewPartition("p", testXCDs(6), env, PolicyRoundRobin)
+	k := &KernelSpec{
+		Name: "stream", Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 2, BytesReadPerItem: 16, BytesWrittenPerItem: 8,
+	}
+	const items = 1 << 20
+	done, err := p.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: total bytes / peak HBM BW.
+	minTime := sim.FromSeconds(float64(items*24) / 5.3e12)
+	if done < minTime {
+		t.Errorf("mem-bound kernel finished at %v, below HBM bound %v", done, minTime)
+	}
+}
+
+func TestUnsupportedDtypeFallsBack(t *testing.T) {
+	// FP8 on CDNA2 is unsupported: should still execute, just slowly.
+	spec := config.MI250X().XCD
+	x := NewXCD(0, spec, sim.NewRNG(3))
+	p := NewPartition("p", []*XCD{x}, nil, PolicyRoundRobin)
+	k8 := &KernelSpec{Name: "fp8", Class: config.Matrix, Dtype: config.FP8, FlopsPerItem: 1e4}
+	k16 := &KernelSpec{Name: "fp16", Class: config.Matrix, Dtype: config.FP16, FlopsPerItem: 1e4}
+	d8, err := p.Dispatch(0, k8, 1024, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.ResetStats()
+	d16, err := p.Dispatch(0, k16, 1024, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8 <= d16 {
+		t.Errorf("FP8 fallback (%v) should be slower than native FP16 (%v) on CDNA2", d8, d16)
+	}
+}
+
+func TestSparseDoublesThroughput(t *testing.T) {
+	dense := &KernelSpec{Name: "d", Class: config.Matrix, Dtype: config.FP8, FlopsPerItem: 1e6}
+	sparse := &KernelSpec{Name: "s", Class: config.Matrix, Dtype: config.FP8, FlopsPerItem: 1e6, Sparse: true}
+	p := NewPartition("p", testXCDs(1), nil, PolicyRoundRobin)
+	dd, _ := p.Dispatch(0, dense, 38*256, 256, 0)
+	p.XCDs()[0].ResetStats()
+	ds, _ := p.Dispatch(0, sparse, 38*256, 256, 0)
+	ratio := float64(dd) / float64(ds)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("4:2 sparsity speedup = %.2f, want ~2 (Table 1)", ratio)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	if (&KernelSpec{}).Validate() == nil {
+		t.Error("unnamed kernel accepted")
+	}
+	if (&KernelSpec{Name: "k", FlopsPerItem: -1}).Validate() == nil {
+		t.Error("negative flops accepted")
+	}
+}
+
+func BenchmarkDispatch6XCD(b *testing.B) {
+	p := NewPartition("spx", testXCDs(6), nil, PolicyRoundRobin)
+	k := &KernelSpec{Name: "k", Class: config.Matrix, Dtype: config.FP16, FlopsPerItem: 1e4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now sim.Time
+	for i := 0; i < b.N; i++ {
+		done, err := p.Dispatch(now, k, 228*256, 256, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = done
+	}
+}
+
+// Property: dispatch computes every element exactly once regardless of
+// how many CUs are harvested.
+func TestDispatchCorrectUnderHeavyHarvesting(t *testing.T) {
+	spec := *config.MI300A().XCD
+	spec.EnabledCUs = 3 // almost everything defective
+	rng := sim.NewRNG(99)
+	xs := []*XCD{NewXCD(0, &spec, rng), NewXCD(1, &spec, rng)}
+	for _, x := range xs {
+		if x.EnabledCUs() != 3 {
+			t.Fatalf("enabled = %d", x.EnabledCUs())
+		}
+	}
+	space := mem.NewSpace("m", 1<<24)
+	counts := make([]int, 2048)
+	env := &ExecEnv{Mem: space}
+	p := NewPartition("harvested", xs, env, PolicyRoundRobin)
+	k := &KernelSpec{
+		Name: "count", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 1,
+		Body: func(env *ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			for l := 0; l < wgSize; l++ {
+				i := wgID*wgSize + l
+				if i < len(counts) {
+					counts[i]++
+				}
+			}
+		},
+	}
+	if _, err := p.Dispatch(0, k, len(counts), 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("element %d computed %d times", i, c)
+		}
+	}
+}
+
+func TestXCDWithZeroEnabledCUsPanics(t *testing.T) {
+	spec := *config.MI300A().XCD
+	spec.EnabledCUs = 0
+	x := NewXCD(0, &spec, sim.NewRNG(1))
+	// All 40 CUs disabled... EnabledCUs = PhysicalCUs - 0 disabled? The
+	// constructor disables Physical-Enabled = 40: everything.
+	if x.EnabledCUs() != 0 {
+		t.Skip("constructor kept some CUs enabled")
+	}
+	p := NewPartition("dead", []*XCD{x}, nil, PolicyRoundRobin)
+	defer func() {
+		if recover() == nil {
+			t.Error("dispatch on a CU-less XCD did not panic")
+		}
+	}()
+	k := &KernelSpec{Name: "k", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 1}
+	p.Dispatch(0, k, 64, 64, 0)
+}

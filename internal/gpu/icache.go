@@ -1,0 +1,117 @@
+package gpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// This file models the §IV.B instruction-cache design decision: "Each
+// pair of CUs shares a 64KB, 8-way set associative instruction cache. For
+// GPU workloads, the overwhelmingly common case is that the stream gets
+// executed by groups of CUs, so sharing the instruction cache increases
+// the cache hit rate with minimal impact on die area." The study compares
+// a shared 64 KB cache for a CU pair against two private 32 KB caches of
+// the same total area, under instruction streams drawn from one or more
+// kernels' code footprints.
+
+// icacheLineSize is the fetch granularity.
+const icacheLineSize = 64
+
+// ICacheConfig describes one organization for a CU pair.
+type ICacheConfig struct {
+	Name string
+	// Shared uses one cache of TotalBytes; private splits it in half.
+	Shared     bool
+	TotalBytes int64
+	Ways       int
+}
+
+// SharedICache is the CDNA 3 organization: 64 KB, 8-way, per CU pair.
+func SharedICache() ICacheConfig {
+	return ICacheConfig{Name: "shared-64K", Shared: true, TotalBytes: 64 << 10, Ways: 8}
+}
+
+// PrivateICache is the alternative: two private 32 KB caches (same area).
+func PrivateICache() ICacheConfig {
+	return ICacheConfig{Name: "2x-private-32K", Shared: false, TotalBytes: 64 << 10, Ways: 8}
+}
+
+// KernelCode describes one kernel's instruction footprint.
+type KernelCode struct {
+	BaseAddr  int64
+	CodeBytes int64
+}
+
+// ICacheStudyResult reports the hit rates of one simulated run.
+type ICacheStudyResult struct {
+	Config  ICacheConfig
+	HitRate float64
+	Fetches uint64
+}
+
+// RunICacheStudy simulates two CUs fetching instructions for iterations
+// loop passes. When sameKernel is true both CUs run the same kernel (the
+// common case §IV.B describes); otherwise each runs its own kernel.
+// Fetch streams interleave between the CUs as concurrent wavefronts
+// would, sweeping each kernel's code linearly per pass with the given
+// seed adding fetch jitter (branches).
+func RunICacheStudy(cfg ICacheConfig, code KernelCode, sameKernel bool, iterations int, seed uint64) ICacheStudyResult {
+	var shared *cache.SetAssoc
+	var priv [2]*cache.SetAssoc
+	if cfg.Shared {
+		shared = cache.NewSetAssoc(cfg.Name, cfg.TotalBytes, icacheLineSize, cfg.Ways)
+	} else {
+		priv[0] = cache.NewSetAssoc(cfg.Name+".0", cfg.TotalBytes/2, icacheLineSize, cfg.Ways)
+		priv[1] = cache.NewSetAssoc(cfg.Name+".1", cfg.TotalBytes/2, icacheLineSize, cfg.Ways)
+	}
+	// CU1 either shares CU0's kernel or runs a disjoint one.
+	codes := [2]KernelCode{code, code}
+	if !sameKernel {
+		codes[1] = KernelCode{BaseAddr: code.BaseAddr + code.CodeBytes + 1<<20, CodeBytes: code.CodeBytes}
+	}
+	rng := sim.NewRNG(seed)
+	var hits, total uint64
+	for pass := 0; pass < iterations; pass++ {
+		lines := codes[0].CodeBytes / icacheLineSize
+		for l := int64(0); l < lines; l++ {
+			for cu := 0; cu < 2; cu++ {
+				// Mostly-linear fetch with occasional short backward
+				// branches (loops within the kernel).
+				line := l
+				if rng.Intn(16) == 0 && l > 8 {
+					line = l - int64(rng.Intn(8))
+				}
+				addr := codes[cu].BaseAddr + line*icacheLineSize
+				c := shared
+				if c == nil {
+					c = priv[cu]
+				}
+				if res := c.Access(addr, false); res.Hit {
+					hits++
+				}
+				total++
+			}
+		}
+	}
+	return ICacheStudyResult{Config: cfg, HitRate: float64(hits) / float64(total), Fetches: total}
+}
+
+// ICacheComparison runs the shared vs private comparison for a given code
+// size, same-kernel and different-kernel cases.
+type ICacheComparison struct {
+	CodeBytes               int64
+	SharedSame, PrivateSame float64
+	SharedDiff, PrivateDiff float64
+}
+
+// CompareICache runs the full §IV.B comparison at one code footprint.
+func CompareICache(codeBytes int64, iterations int) ICacheComparison {
+	code := KernelCode{BaseAddr: 0x10000, CodeBytes: codeBytes}
+	return ICacheComparison{
+		CodeBytes:   codeBytes,
+		SharedSame:  RunICacheStudy(SharedICache(), code, true, iterations, 1).HitRate,
+		PrivateSame: RunICacheStudy(PrivateICache(), code, true, iterations, 1).HitRate,
+		SharedDiff:  RunICacheStudy(SharedICache(), code, false, iterations, 1).HitRate,
+		PrivateDiff: RunICacheStudy(PrivateICache(), code, false, iterations, 1).HitRate,
+	}
+}

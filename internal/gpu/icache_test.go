@@ -1,0 +1,54 @@
+package gpu
+
+import "testing"
+
+func TestSharedICacheWinsForLargeSharedCode(t *testing.T) {
+	// §IV.B's case: both CUs run the same kernel whose code (48 KB)
+	// exceeds a private 32 KB cache but fits the shared 64 KB one.
+	c := CompareICache(48<<10, 16)
+	if c.SharedSame <= c.PrivateSame {
+		t.Errorf("shared hit rate %.3f should beat private %.3f for 48 KB shared code",
+			c.SharedSame, c.PrivateSame)
+	}
+	if c.SharedSame < 0.9 {
+		t.Errorf("shared hit rate %.3f too low: 48 KB fits in 64 KB", c.SharedSame)
+	}
+}
+
+func TestSmallCodeFitsEitherWay(t *testing.T) {
+	// A 16 KB kernel fits both organizations: sharing costs nothing.
+	c := CompareICache(16<<10, 32)
+	if c.SharedSame < 0.95 || c.PrivateSame < 0.95 {
+		t.Errorf("16 KB code should hit in both: shared %.3f private %.3f",
+			c.SharedSame, c.PrivateSame)
+	}
+}
+
+func TestDifferentKernelsContendInSharedCache(t *testing.T) {
+	// The trade-off's bad case: two CUs running different 48 KB kernels
+	// thrash a shared 64 KB cache (96 KB footprint) — but note the
+	// private pair is no better (48 KB in 32 KB each).
+	c := CompareICache(48<<10, 4)
+	if c.SharedDiff >= c.SharedSame {
+		t.Errorf("different kernels (%.3f) should hit less than same kernel (%.3f) in the shared cache",
+			c.SharedDiff, c.SharedSame)
+	}
+}
+
+func TestICacheStudyDeterministic(t *testing.T) {
+	code := KernelCode{BaseAddr: 0, CodeBytes: 32 << 10}
+	a := RunICacheStudy(SharedICache(), code, true, 3, 42)
+	b := RunICacheStudy(SharedICache(), code, true, 3, 42)
+	if a.HitRate != b.HitRate || a.Fetches != b.Fetches {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestICacheFetchCount(t *testing.T) {
+	code := KernelCode{BaseAddr: 0, CodeBytes: 8 << 10}
+	r := RunICacheStudy(SharedICache(), code, true, 2, 1)
+	// 8 KB / 64 B lines × 2 CUs × 2 passes.
+	if want := uint64(8 << 10 / 64 * 2 * 2); r.Fetches != want {
+		t.Errorf("fetches = %d, want %d", r.Fetches, want)
+	}
+}

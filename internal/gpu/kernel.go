@@ -1,0 +1,122 @@
+// Package gpu models the accelerator side of MI300: XCDs with harvested
+// CUs, the per-XCD Asynchronous Compute Engines that consume AQL packets,
+// and the cooperative multi-XCD dispatch protocol of §VI.A that presents a
+// multi-chiplet partition to software as one logical GPU. The model is
+// functional (kernels really execute against the simulated memory) and
+// cycle-approximate (per-workgroup time comes from the Table-1 rate tables
+// and the shared memory-system occupancy).
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ExecEnv is the environment a kernel executes in: the functional memory
+// and the platform's timing callbacks for bulk memory traffic and for
+// ACE-to-ACE synchronization over the fabric's high-priority channel.
+type ExecEnv struct {
+	// Mem is the (unified) address space kernels load and store.
+	Mem *mem.Space
+	// MemTime charges bytes of memory traffic originating from xcd
+	// starting at start and returns the completion time. Nil means
+	// memory time is not modeled (pure-compute experiments).
+	MemTime func(start sim.Time, xcd int, bytes int64, write bool) sim.Time
+	// SignalTime returns the delivery time of a high-priority sync
+	// message between two XCDs' ACEs. Nil means a fixed small latency.
+	SignalTime func(start sim.Time, fromXCD, toXCD int) sim.Time
+}
+
+func (e *ExecEnv) memTime(start sim.Time, xcd int, bytes int64, write bool) sim.Time {
+	if e.MemTime == nil || bytes <= 0 {
+		return start
+	}
+	return e.MemTime(start, xcd, bytes, write)
+}
+
+func (e *ExecEnv) signalTime(start sim.Time, from, to int) sim.Time {
+	if e.SignalTime == nil {
+		return start + 20*sim.Nanosecond
+	}
+	return e.SignalTime(start, from, to)
+}
+
+// WorkgroupFunc is the functional body of a kernel, invoked once per
+// workgroup. wgID is the flat workgroup index within the whole dispatch
+// (not per-XCD), so data decomposition matches a real grid launch.
+type WorkgroupFunc func(env *ExecEnv, xcd, wgID, wgSize int, kernarg int64)
+
+// KernelSpec is the model's "code object": a functional body plus the
+// per-work-item resource footprint used for timing.
+type KernelSpec struct {
+	Name string
+	// Class and Dtype select the Table-1 rate row for compute timing.
+	Class config.EngineClass
+	Dtype config.DataType
+	// FlopsPerItem is arithmetic per work-item.
+	FlopsPerItem float64
+	// BytesReadPerItem / BytesWrittenPerItem is memory traffic per
+	// work-item that escapes the L2 (i.e., traffic the HBM path sees).
+	BytesReadPerItem    float64
+	BytesWrittenPerItem float64
+	// Sparse engages the 4:2 sparsity rate (CDNA 3 only).
+	Sparse bool
+	// LDSBytesPerGroup is Local Data Share allocated per workgroup; it
+	// limits how many workgroups a CU can host concurrently (occupancy).
+	LDSBytesPerGroup int64
+	// Body optionally performs real loads/stores; may be nil for
+	// timing-only kernels.
+	Body WorkgroupFunc
+
+	// TileBytes and TileOf model inter-workgroup data reuse through the
+	// XCD L2 (§VI.A: the workgroup-scheduling tradeoff between "inter-
+	// workgroup data reuse in the XCD's L2 cache versus initiating work
+	// on as many XCDs as possible"). When set, each workgroup reads the
+	// TileBytes-sized tile at TileOf(wgID) through its XCD's L2; only L2
+	// misses reach the HBM path. Workgroups that share tiles therefore
+	// benefit from landing on the same XCD — which is exactly what
+	// PolicyBlock arranges and PolicyRoundRobin destroys.
+	TileBytes int64
+	TileOf    func(wgID int) int64
+}
+
+// Validate checks the spec.
+func (k *KernelSpec) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("gpu: kernel must be named")
+	}
+	if k.FlopsPerItem < 0 || k.BytesReadPerItem < 0 || k.BytesWrittenPerItem < 0 {
+		return fmt.Errorf("gpu: kernel %s has negative resource demands", k.Name)
+	}
+	return nil
+}
+
+// computeTime reports the arithmetic time for items work-items on one CU
+// of the given spec.
+func (k *KernelSpec) computeTime(xcd *config.XCDSpec, items int) sim.Time {
+	if k.FlopsPerItem == 0 || items == 0 {
+		return 0
+	}
+	rate := xcd.Rates.Ops(k.Class, k.Dtype)
+	if k.Sparse && k.Class == config.Matrix {
+		rate = xcd.Rates.SparseOps(k.Dtype)
+	}
+	if rate == 0 {
+		// Unsupported format: emulated at 1/16 of the FP32 vector rate,
+		// the pessimistic software fallback.
+		rate = xcd.Rates.Ops(config.Vector, config.FP32) / 16
+		if rate == 0 {
+			rate = 1
+		}
+	}
+	flops := k.FlopsPerItem * float64(items)
+	return sim.FromSeconds(flops / (rate * xcd.ClockHz))
+}
+
+// trafficBytes reports HBM-visible traffic for items work-items.
+func (k *KernelSpec) trafficBytes(items int) (read, written int64) {
+	return int64(k.BytesReadPerItem * float64(items)), int64(k.BytesWrittenPerItem * float64(items))
+}

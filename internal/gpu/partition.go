@@ -1,0 +1,254 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/hsa"
+	"repro/internal/sim"
+)
+
+// Policy selects how a dispatch's workgroups are divided among the XCDs of
+// a partition. §VI.A: "The decision of which workgroups are scheduled into
+// which XCD is configurable to allow tradeoffs between factors like
+// inter-workgroup data reuse in the XCD's L2 cache versus initiating work
+// on as many XCDs as possible to maximize memory bandwidth."
+type Policy int
+
+const (
+	// PolicyRoundRobin interleaves consecutive workgroups across XCDs,
+	// engaging all XCDs (and their memory paths) as fast as possible.
+	PolicyRoundRobin Policy = iota
+	// PolicyBlock gives each XCD a contiguous chunk, maximizing
+	// inter-workgroup data reuse in each XCD's L2.
+	PolicyBlock
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyRoundRobin {
+		return "round-robin"
+	}
+	return "block"
+}
+
+// Partition presents a set of XCDs as one logical GPU (§VI.A). A partition
+// of one XCD is a CPX-style device; MI300A's default SPX partition holds
+// all six.
+type Partition struct {
+	Name   string
+	Policy Policy
+	xcds   []*XCD
+	env    *ExecEnv
+
+	kernelsDone uint64
+}
+
+// NewPartition groups xcds into one logical device.
+func NewPartition(name string, xcds []*XCD, env *ExecEnv, policy Policy) *Partition {
+	if len(xcds) == 0 {
+		panic("gpu: partition with no XCDs")
+	}
+	if env == nil {
+		env = &ExecEnv{}
+	}
+	return &Partition{Name: name, Policy: policy, xcds: xcds, env: env}
+}
+
+// XCDs returns the member dies.
+func (p *Partition) XCDs() []*XCD { return p.xcds }
+
+// TotalCUs reports enabled CUs across the partition.
+func (p *Partition) TotalCUs() int {
+	var n int
+	for _, x := range p.xcds {
+		n += x.EnabledCUs()
+	}
+	return n
+}
+
+// KernelsCompleted reports retired dispatches.
+func (p *Partition) KernelsCompleted() uint64 { return p.kernelsDone }
+
+// assign splits flat workgroup IDs [0,n) among the XCDs by policy. Every
+// ACE computes this same assignment independently — it "knows how many
+// XCDs are in the partition, so it knows that its XCD is only responsible
+// for executing a subset of the kernel's total workgroups" (§VI.A).
+func (p *Partition) assign(n int) [][]int {
+	out := make([][]int, len(p.xcds))
+	switch p.Policy {
+	case PolicyBlock:
+		per := (n + len(p.xcds) - 1) / len(p.xcds)
+		for i := range p.xcds {
+			lo := i * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			for wg := lo; wg < hi; wg++ {
+				out[i] = append(out[i], wg)
+			}
+		}
+	default: // PolicyRoundRobin
+		for wg := 0; wg < n; wg++ {
+			i := wg % len(p.xcds)
+			out[i] = append(out[i], wg)
+		}
+	}
+	return out
+}
+
+// Process consumes the packet at the head of q, runs it across the
+// partition following the Fig. 13 flow, and returns the kernel completion
+// time. The queue's read index advances and the packet's completion
+// signal (if any) is decremented at the completion time.
+func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
+	pkt, ok := q.Peek()
+	if !ok {
+		return now, fmt.Errorf("gpu: queue %s empty", q.Name)
+	}
+	if pkt.Type == hsa.PacketBarrierAnd {
+		// Barrier: completes when every dependency has signaled.
+		done := now
+		for _, dep := range pkt.BarrierDeps {
+			if reached, at := dep.Reached(0); reached {
+				if at > done {
+					done = at
+				}
+			} else {
+				return now, fmt.Errorf("gpu: barrier dependency %s unsatisfied", dep.Name)
+			}
+		}
+		q.Advance()
+		if pkt.Completion != nil {
+			pkt.Completion.Sub(done, 1)
+		}
+		return done, nil
+	}
+
+	k, ok := pkt.KernelObject.(*KernelSpec)
+	if !ok || k == nil {
+		return now, fmt.Errorf("gpu: packet %q carries no KernelSpec", pkt.KernelName)
+	}
+	if err := k.Validate(); err != nil {
+		return now, err
+	}
+
+	nWG := pkt.Workgroups()
+	wgSize := pkt.Workgroup.Count()
+	assignment := p.assign(nWG)
+
+	// ① Every XCD's ACE reads and decodes the AQL packet.
+	// ② Each sets up its local microarchitecture and launches its subset.
+	// ③④ Completion synchronization to the nominated XCD (index 0).
+	nominated := 0
+	var kernelDone sim.Time
+	for i, x := range p.xcds {
+		decoded := x.decode(now)
+		subsetDone := x.executeWorkgroups(p.env, decoded, k, assignment[i], wgSize, pkt.KernargAddr)
+		// Each XCD signals "my waves completed, writes visible" to the
+		// nominated XCD over the high-priority channel.
+		arrive := subsetDone
+		if i != nominated {
+			arrive = p.env.signalTime(subsetDone, x.ID, p.xcds[nominated].ID)
+			x.stats.SyncMessages++
+		}
+		if arrive > kernelDone {
+			kernelDone = arrive
+		}
+	}
+	q.Advance()
+	p.kernelsDone++
+	if pkt.Completion != nil {
+		pkt.Completion.Sub(kernelDone, 1)
+	}
+	return kernelDone, nil
+}
+
+// ProcessAll drains a set of user-mode queues, interleaving them in
+// round-robin order as the hardware queue scheduler would, and honoring
+// barrier-AND packets whose dependency signals are produced by kernels on
+// other queues. It returns when every queue is empty, or an error on an
+// unsatisfiable dependency (deadlock).
+func (p *Partition) ProcessAll(start sim.Time, queues []*hsa.Queue) (sim.Time, error) {
+	times := make([]sim.Time, len(queues))
+	for i := range times {
+		times[i] = start
+	}
+	end := start
+	for {
+		progress := false
+		pending := false
+		for i, q := range queues {
+			pkt, ok := q.Peek()
+			if !ok {
+				continue
+			}
+			pending = true
+			if pkt.Type == hsa.PacketBarrierAnd {
+				ready := true
+				var depTime sim.Time
+				for _, dep := range pkt.BarrierDeps {
+					done, at := dep.Reached(0)
+					if !done {
+						ready = false
+						break
+					}
+					if at > depTime {
+						depTime = at
+					}
+				}
+				if !ready {
+					continue // retry after other queues make progress
+				}
+				if depTime > times[i] {
+					times[i] = depTime
+				}
+			}
+			done, err := p.Process(times[i], q)
+			if err != nil {
+				return end, err
+			}
+			times[i] = done
+			if done > end {
+				end = done
+			}
+			progress = true
+		}
+		if !pending {
+			return end, nil
+		}
+		if !progress {
+			return end, fmt.Errorf("gpu: queue set deadlocked on unsatisfiable barrier")
+		}
+	}
+}
+
+// Dispatch is a convenience wrapper: it enqueues a 1-D kernel dispatch on
+// a fresh queue and processes it, returning the completion time.
+func (p *Partition) Dispatch(now sim.Time, k *KernelSpec, items, wgSize int, kernarg int64) (sim.Time, error) {
+	if wgSize <= 0 {
+		wgSize = 256
+	}
+	q := hsa.NewQueue(p.Name+".q", 2)
+	sig := hsa.NewSignal(k.Name+".done", 1)
+	err := q.Enqueue(hsa.Packet{
+		Type:         hsa.PacketKernelDispatch,
+		KernelName:   k.Name,
+		Grid:         hsa.Dim3{items, 1, 1},
+		Workgroup:    hsa.Dim3{wgSize, 1, 1},
+		KernelObject: k,
+		KernargAddr:  kernarg,
+		Completion:   sig,
+	})
+	if err != nil {
+		return now, err
+	}
+	done, err := p.Process(now, q)
+	if err != nil {
+		return now, err
+	}
+	if v := sig.Value(); v != 0 {
+		return done, fmt.Errorf("gpu: completion signal at %d after dispatch", v)
+	}
+	return done, nil
+}

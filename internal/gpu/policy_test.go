@@ -1,0 +1,189 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// tiledKernel builds a kernel where groups of `sharing` consecutive
+// workgroups read the same tile — the inter-workgroup reuse pattern of
+// §VI.A.
+func tiledKernel(tileBytes int64, sharing int) *KernelSpec {
+	return &KernelSpec{
+		Name:  "tiled",
+		Class: config.Matrix, Dtype: config.FP16,
+		FlopsPerItem: 1e4,
+		TileBytes:    tileBytes,
+		TileOf: func(wgID int) int64 {
+			return int64(wgID/sharing) * tileBytes
+		},
+	}
+}
+
+func l2Stats(p *Partition) cache.Stats {
+	var s cache.Stats
+	for _, x := range p.XCDs() {
+		st := x.L2().Stats()
+		s.Hits += st.Hits
+		s.Misses += st.Misses
+	}
+	return s
+}
+
+func TestBlockPolicyImprovesL2Reuse(t *testing.T) {
+	// 4 consecutive workgroups share a 1 MB tile. Block scheduling puts
+	// sharers on the same XCD (L2 hits); round-robin scatters them
+	// across XCDs (each XCD misses the whole tile).
+	k := tiledKernel(1<<20, 4)
+	const wgs = 6 * 16
+
+	blk := NewPartition("blk", testXCDs(6), nil, PolicyBlock)
+	if _, err := blk.Dispatch(0, k, wgs*256, 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	blkStats := l2Stats(blk)
+
+	rr := NewPartition("rr", testXCDs(6), nil, PolicyRoundRobin)
+	if _, err := rr.Dispatch(0, k, wgs*256, 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	rrStats := l2Stats(rr)
+
+	if blkStats.HitRate() <= rrStats.HitRate() {
+		t.Errorf("block L2 hit rate %.2f should exceed round-robin %.2f (§VI.A)",
+			blkStats.HitRate(), rrStats.HitRate())
+	}
+	if blkStats.HitRate() < 0.5 {
+		t.Errorf("block hit rate %.2f too low for 4-way tile sharing", blkStats.HitRate())
+	}
+}
+
+func TestRoundRobinWinsWhenNoReuse(t *testing.T) {
+	// With no tile sharing, the policies should see equally poor reuse —
+	// the round-robin advantage (engaging all XCDs/memory paths sooner)
+	// shows up in completion time for memory-bound work instead.
+	h := mem.NewHBM("hbm", 8, 16, 5.3e12/8, 1<<30, 100*sim.Nanosecond)
+	var cursor int64
+	env := &ExecEnv{
+		MemTime: func(start sim.Time, xcd int, bytes int64, write bool) sim.Time {
+			a := cursor % (1 << 28)
+			cursor += bytes
+			return h.Access(start, a, bytes, write)
+		},
+	}
+	k := &KernelSpec{
+		Name: "stream", Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 2, BytesReadPerItem: 64,
+	}
+	// An uneven workgroup count: block gives XCD0 a long contiguous run
+	// while round-robin balances.
+	const items = 6*37*256 + 5*256
+	rr := NewPartition("rr", testXCDs(6), env, PolicyRoundRobin)
+	rrDone, err := rr.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := NewPartition("blk", testXCDs(6), env, PolicyBlock)
+	blkDone, err := blk.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrDone > blkDone+blkDone/10 {
+		t.Errorf("round-robin (%v) should not trail block (%v) without reuse", rrDone, blkDone)
+	}
+}
+
+func TestTiledKernelMissBytesReachMemory(t *testing.T) {
+	// A cold 2 MB tile must generate ~2 MB of memory traffic; a re-read
+	// of the same tile by the next workgroup on the same XCD must not.
+	var traffic int64
+	env := &ExecEnv{
+		MemTime: func(start sim.Time, xcd int, bytes int64, write bool) sim.Time {
+			traffic += bytes
+			return start
+		},
+	}
+	p := NewPartition("one", testXCDs(1), env, PolicyBlock)
+	k := tiledKernel(2<<20, 2)
+	if _, err := p.Dispatch(0, k, 2*256, 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Two workgroups sharing one 2 MB tile on one XCD: traffic should be
+	// roughly one tile, not two.
+	if traffic < 2<<20 || traffic > 3<<20 {
+		t.Errorf("memory traffic = %d, want ~2 MiB (one tile fill)", traffic)
+	}
+}
+
+func TestOccupancyMath(t *testing.T) {
+	spec := config.MI300A().XCD // 64 KiB LDS, wavefront 64
+	cases := []struct {
+		wgSize int
+		lds    int64
+		want   int
+	}{
+		{256, 0, 8},        // 4 waves/wg -> 32/4
+		{64, 0, 16},        // 1 wave/wg -> capped at 16
+		{1024, 0, 2},       // 16 waves/wg -> 2
+		{256, 32 << 10, 2}, // LDS-limited: 64K/32K
+		{256, 64 << 10, 1}, // whole LDS per group
+		{256, 48 << 10, 1}, // 64K/48K -> 1
+		{64, 8 << 10, 8},   // LDS 8: min(16, 8)
+	}
+	for _, c := range cases {
+		if got := Occupancy(spec, c.wgSize, c.lds); got != c.want {
+			t.Errorf("Occupancy(wg=%d, lds=%d) = %d, want %d", c.wgSize, c.lds, got, c.want)
+		}
+	}
+}
+
+func TestOccupancyHidesLaunchOverhead(t *testing.T) {
+	// A latency-dominated kernel (tiny compute): high occupancy overlaps
+	// workgroup launches; an LDS-hungry variant is forced to occupancy 1
+	// and pays every launch serially.
+	light := &KernelSpec{Name: "light", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 10}
+	heavy := &KernelSpec{Name: "heavy", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 10,
+		LDSBytesPerGroup: 64 << 10}
+	const items = 38 * 16 * 64 // 16 workgroups per CU at wgSize 64
+	pl := NewPartition("l", testXCDs(1), nil, PolicyRoundRobin)
+	dl, err := pl.Dispatch(0, light, items, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := NewPartition("h", testXCDs(1), nil, PolicyRoundRobin)
+	dh, err := ph.Dispatch(0, heavy, items, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(dh) / float64(dl)
+	if speedup < 4 {
+		t.Errorf("occupancy speedup = %.1f, want >= 4 (16 slots vs 1)", speedup)
+	}
+}
+
+func TestOccupancyDoesNotInflateComputeThroughput(t *testing.T) {
+	// Compute-bound work must NOT speed up with occupancy: the ALUs are
+	// time-shared.
+	small := &KernelSpec{Name: "c", Class: config.Matrix, Dtype: config.FP16, FlopsPerItem: 1e6}
+	big := &KernelSpec{Name: "c", Class: config.Matrix, Dtype: config.FP16, FlopsPerItem: 1e6,
+		LDSBytesPerGroup: 64 << 10}
+	const items = 38 * 8 * 64
+	p1 := NewPartition("a", testXCDs(1), nil, PolicyRoundRobin)
+	d1, err := p1.Dispatch(0, small, items, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPartition("b", testXCDs(1), nil, PolicyRoundRobin)
+	d2, err := p2.Dispatch(0, big, items, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(d2) / float64(d1)
+	if ratio > 1.15 {
+		t.Errorf("compute-bound occupancy ratio = %.2f, want ~1 (ALUs serialize)", ratio)
+	}
+}

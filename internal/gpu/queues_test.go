@@ -1,0 +1,104 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hsa"
+)
+
+func dispatchPacket(name string, k *KernelSpec, sig *hsa.Signal) hsa.Packet {
+	return hsa.Packet{
+		Type: hsa.PacketKernelDispatch, KernelName: name,
+		Grid: hsa.Dim3{6 * 38 * 256, 1, 1}, Workgroup: hsa.Dim3{256, 1, 1},
+		KernelObject: k, Completion: sig,
+	}
+}
+
+func TestProcessAllCrossQueueDependency(t *testing.T) {
+	p := NewPartition("p", testXCDs(6), nil, PolicyRoundRobin)
+	k := &KernelSpec{Name: "k", Class: config.Matrix, Dtype: config.FP16, FlopsPerItem: 1e5}
+
+	producerDone := hsa.NewSignal("producer", 1)
+	consumerDone := hsa.NewSignal("consumer", 1)
+
+	producer := hsa.NewQueue("producer", 8)
+	if err := producer.Enqueue(dispatchPacket("produce", k, producerDone)); err != nil {
+		t.Fatal(err)
+	}
+	consumer := hsa.NewQueue("consumer", 8)
+	if err := consumer.Enqueue(hsa.Packet{
+		Type: hsa.PacketBarrierAnd, BarrierDeps: []*hsa.Signal{producerDone},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Enqueue(dispatchPacket("consume", k, consumerDone)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer queue listed first: ProcessAll must still defer its
+	// barrier until the producer kernel completes.
+	end, err := p.ProcessAll(0, []*hsa.Queue{consumer, producer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if producer.Depth() != 0 || consumer.Depth() != 0 {
+		t.Error("queues not drained")
+	}
+	pDone, cDone := producerDone.SetTime(), consumerDone.SetTime()
+	if cDone <= pDone {
+		t.Errorf("consumer kernel (%v) should complete after producer (%v)", cDone, pDone)
+	}
+	if end != cDone {
+		t.Errorf("ProcessAll end %v != last completion %v", end, cDone)
+	}
+}
+
+func TestProcessAllDeadlockDetected(t *testing.T) {
+	p := NewPartition("p", testXCDs(2), nil, PolicyRoundRobin)
+	q := hsa.NewQueue("q", 4)
+	never := hsa.NewSignal("never", 1)
+	q.Enqueue(hsa.Packet{Type: hsa.PacketBarrierAnd, BarrierDeps: []*hsa.Signal{never}})
+	if _, err := p.ProcessAll(0, []*hsa.Queue{q}); err == nil {
+		t.Error("unsatisfiable barrier not detected as deadlock")
+	}
+}
+
+func TestProcessAllManyIndependentQueues(t *testing.T) {
+	// Four independent queues, two kernels each — everything drains and
+	// the ACEs interleave the work.
+	p := NewPartition("p", testXCDs(6), nil, PolicyRoundRobin)
+	k := &KernelSpec{Name: "k", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 1e4}
+	var queues []*hsa.Queue
+	var sigs []*hsa.Signal
+	for i := 0; i < 4; i++ {
+		q := hsa.NewQueue("q", 8)
+		for j := 0; j < 2; j++ {
+			s := hsa.NewSignal("s", 1)
+			sigs = append(sigs, s)
+			if err := q.Enqueue(dispatchPacket("k", k, s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		queues = append(queues, q)
+	}
+	if _, err := p.ProcessAll(0, queues); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sigs {
+		if v := s.Value(); v != 0 {
+			t.Errorf("kernel %d signal = %d, want 0", i, v)
+		}
+	}
+	if got := p.KernelsCompleted(); got != 8 {
+		t.Errorf("kernels completed = %d, want 8", got)
+	}
+}
+
+func TestProcessAllEmptyQueues(t *testing.T) {
+	p := NewPartition("p", testXCDs(1), nil, PolicyRoundRobin)
+	end, err := p.ProcessAll(42, []*hsa.Queue{hsa.NewQueue("e", 2)})
+	if err != nil || end != 42 {
+		t.Errorf("empty ProcessAll = %v, %v", end, err)
+	}
+}

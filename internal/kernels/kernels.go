@@ -1,0 +1,195 @@
+// Package kernels is a library of ready-made GPU kernels for the
+// simulator: each couples a functional body (real loads/stores against
+// the simulated memory) with the resource footprint the timing model
+// needs. They serve as the built-in workload vocabulary for examples and
+// tests, and as reference implementations of how to write kernels against
+// the gpu.KernelSpec API.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// VectorAXPY returns y = a*x + y over n float64 elements.
+func VectorAXPY(a float64, xAddr, yAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "axpy",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 2, BytesReadPerItem: 16, BytesWrittenPerItem: 8,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			for i := lo; i < hi; i++ {
+				x := env.Mem.ReadFloat64(xAddr + int64(i)*8)
+				y := env.Mem.ReadFloat64(yAddr + int64(i)*8)
+				env.Mem.WriteFloat64(yAddr+int64(i)*8, a*x+y)
+			}
+		},
+	}
+}
+
+// Scale returns y = a*x over n float64 elements.
+func Scale(a float64, xAddr, yAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "scale",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 1, BytesReadPerItem: 8, BytesWrittenPerItem: 8,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			for i := lo; i < hi; i++ {
+				env.Mem.WriteFloat64(yAddr+int64(i)*8, a*env.Mem.ReadFloat64(xAddr+int64(i)*8))
+			}
+		},
+	}
+}
+
+// ReductionSum returns a two-level sum reduction: each workgroup reduces
+// its slice of x into partials[wgID]; Finish folds the partials. The
+// partials buffer must hold ceil(n/wgSize) float64s.
+func ReductionSum(xAddr, partialsAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "reduce-sum",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 1, BytesReadPerItem: 8, BytesWrittenPerItem: 0.1,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += env.Mem.ReadFloat64(xAddr + int64(i)*8)
+			}
+			env.Mem.WriteFloat64(partialsAddr+int64(wgID)*8, s)
+		},
+	}
+}
+
+// FinishReduction folds workgroup partials on the host side (the small
+// serial tail a real app would do on the CPU or with a second kernel).
+func FinishReduction(space *mem.Space, partialsAddr int64, workgroups int) float64 {
+	var s float64
+	for i := 0; i < workgroups; i++ {
+		s += space.ReadFloat64(partialsAddr + int64(i)*8)
+	}
+	return s
+}
+
+// Stencil2D returns a 5-point Jacobi sweep over an nx×ny float64 grid:
+// dst[i,j] = (src[i,j] + src[i±1,j] + src[i,j±1]) / 5 for interior
+// points; boundary rows/columns are copied. One work-item per row.
+func Stencil2D(srcAddr, dstAddr int64, nx, ny int) *gpu.KernelSpec {
+	idx := func(i, j int) int64 { return int64(j*nx+i) * 8 }
+	return &gpu.KernelSpec{
+		Name:  "stencil2d",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem:        5 * float64(nx),
+		BytesReadPerItem:    3 * 8 * float64(nx), // three rows stream through L2
+		BytesWrittenPerItem: 8 * float64(nx),
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, ny)
+			for j := lo; j < hi; j++ {
+				for i := 0; i < nx; i++ {
+					if i == 0 || j == 0 || i == nx-1 || j == ny-1 {
+						env.Mem.WriteFloat64(dstAddr+idx(i, j), env.Mem.ReadFloat64(srcAddr+idx(i, j)))
+						continue
+					}
+					v := env.Mem.ReadFloat64(srcAddr+idx(i, j)) +
+						env.Mem.ReadFloat64(srcAddr+idx(i-1, j)) +
+						env.Mem.ReadFloat64(srcAddr+idx(i+1, j)) +
+						env.Mem.ReadFloat64(srcAddr+idx(i, j-1)) +
+						env.Mem.ReadFloat64(srcAddr+idx(i, j+1))
+					env.Mem.WriteFloat64(dstAddr+idx(i, j), v/5)
+				}
+			}
+		},
+	}
+}
+
+// TiledGEMM returns C += A×B for n×n float64 matrices with one work-item
+// per output row and tile-level L2 reuse declared to the scheduler: the
+// B panel is re-read by every workgroup, so block scheduling keeps it
+// resident in an XCD's L2.
+func TiledGEMM(aAddr, bAddr, cAddr int64, n int) *gpu.KernelSpec {
+	idx := func(r, c int) int64 { return int64(r*n+c) * 8 }
+	panelBytes := int64(n) * 64 * 8 // one 64-column B panel
+	return &gpu.KernelSpec{
+		Name:  "dgemm",
+		Class: config.Matrix, Dtype: config.FP64,
+		FlopsPerItem:        2 * float64(n) * float64(n),
+		BytesReadPerItem:    8 * float64(n) * 2,
+		BytesWrittenPerItem: 8 * float64(n),
+		TileBytes:           panelBytes,
+		TileOf:              func(wgID int) int64 { return bAddr }, // all share the B panel
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			for r := lo; r < hi; r++ {
+				for c := 0; c < n; c++ {
+					var acc float64
+					for k := 0; k < n; k++ {
+						acc += env.Mem.ReadFloat64(aAddr+idx(r, k)) * env.Mem.ReadFloat64(bAddr+idx(k, c))
+					}
+					cur := env.Mem.ReadFloat64(cAddr + idx(r, c))
+					env.Mem.WriteFloat64(cAddr+idx(r, c), cur+acc)
+				}
+			}
+		},
+	}
+}
+
+// Histogram returns a bucketed count of byte values: each work-item
+// covers a span of input and accumulates into a private region, avoiding
+// simulated atomics; Finish folds the per-workgroup histograms.
+func Histogram(inAddr, outAddr int64, n, buckets, workgroups int) (*gpu.KernelSpec, error) {
+	if buckets <= 0 || buckets > 256 {
+		return nil, fmt.Errorf("kernels: %d buckets out of range", buckets)
+	}
+	return &gpu.KernelSpec{
+		Name:  "histogram",
+		Class: config.Vector, Dtype: config.INT8,
+		FlopsPerItem: 2, BytesReadPerItem: 1, BytesWrittenPerItem: 0.1,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			per := (n + workgroups - 1) / workgroups
+			lo := wgID * per
+			hi := min(lo+per, n)
+			base := outAddr + int64(wgID*buckets)*8
+			buf := make([]byte, 4096)
+			counts := make([]uint64, buckets)
+			for off := lo; off < hi; off += len(buf) {
+				chunk := min(len(buf), hi-off)
+				env.Mem.Read(inAddr+int64(off), buf[:chunk])
+				for _, b := range buf[:chunk] {
+					counts[int(b)%buckets]++
+				}
+			}
+			for b, c := range counts {
+				env.Mem.WriteUint64(base+int64(b)*8, c)
+			}
+		},
+	}, nil
+}
+
+// FinishHistogram folds per-workgroup histograms into a single bucket
+// array.
+func FinishHistogram(space *mem.Space, outAddr int64, buckets, workgroups int) []uint64 {
+	total := make([]uint64, buckets)
+	for wg := 0; wg < workgroups; wg++ {
+		base := outAddr + int64(wg*buckets)*8
+		for b := 0; b < buckets; b++ {
+			total[b] += space.ReadUint64(base + int64(b)*8)
+		}
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

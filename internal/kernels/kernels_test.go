@@ -1,0 +1,217 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// rig builds an MI300A platform and allocates a scratch region.
+func rig(t testing.TB) (*core.Platform, *mem.Space) {
+	t.Helper()
+	p, err := core.NewPlatform(config.MI300A())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.DeviceMem
+}
+
+func alloc(t testing.TB, s *mem.Space, n int64) int64 {
+	t.Helper()
+	a, err := s.Alloc(n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func dispatch(t testing.TB, p *core.Platform, k *gpu.KernelSpec, items, wg int) {
+	t.Helper()
+	if _, err := p.GPU.Dispatch(0, k, items, wg, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorAXPY(t *testing.T) {
+	p, s := rig(t)
+	const n = 10_000
+	x := alloc(t, s, n*8)
+	y := alloc(t, s, n*8)
+	for i := int64(0); i < n; i++ {
+		s.WriteFloat64(x+i*8, float64(i))
+		s.WriteFloat64(y+i*8, 1)
+	}
+	dispatch(t, p, VectorAXPY(2, x, y, n), n, 256)
+	for i := int64(0); i < n; i++ {
+		want := 2*float64(i) + 1
+		if got := s.ReadFloat64(y + i*8); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReductionSum(t *testing.T) {
+	p, s := rig(t)
+	const n, wg = 100_000, 256
+	workgroups := (n + wg - 1) / wg
+	x := alloc(t, s, n*8)
+	partials := alloc(t, s, int64(workgroups)*8)
+	var want float64
+	for i := int64(0); i < n; i++ {
+		v := float64(i%97) * 0.5
+		s.WriteFloat64(x+i*8, v)
+		want += v
+	}
+	dispatch(t, p, ReductionSum(x, partials, n), n, wg)
+	got := FinishReduction(s, partials, workgroups)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestStencil2DConvergesAndPreservesBoundary(t *testing.T) {
+	p, s := rig(t)
+	const nx, ny = 64, 64
+	src := alloc(t, s, nx*ny*8)
+	dst := alloc(t, s, nx*ny*8)
+	idx := func(i, j int) int64 { return int64(j*nx+i) * 8 }
+	// Hot boundary, cold interior.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			v := 0.0
+			if i == 0 || j == 0 || i == nx-1 || j == ny-1 {
+				v = 100
+			}
+			s.WriteFloat64(src+idx(i, j), v)
+		}
+	}
+	for sweep := 0; sweep < 4; sweep++ {
+		dispatch(t, p, Stencil2D(src, dst, nx, ny), ny, 16)
+		src, dst = dst, src
+	}
+	// Boundary intact.
+	if got := s.ReadFloat64(src + idx(0, 10)); got != 100 {
+		t.Errorf("boundary = %v, want 100", got)
+	}
+	// Interior near the boundary warmed up; deep interior still cooler.
+	near := s.ReadFloat64(src + idx(1, 32))
+	deep := s.ReadFloat64(src + idx(32, 32))
+	if near <= deep {
+		t.Errorf("heat did not diffuse inward: near=%v deep=%v", near, deep)
+	}
+	if near <= 0 {
+		t.Error("near-boundary cell never heated")
+	}
+}
+
+func TestTiledGEMMAgainstReference(t *testing.T) {
+	p, s := rig(t)
+	const n = 24
+	a := alloc(t, s, n*n*8)
+	b := alloc(t, s, n*n*8)
+	c := alloc(t, s, n*n*8)
+	idx := func(r, cc int) int64 { return int64(r*n+cc) * 8 }
+	av := make([]float64, n*n)
+	bv := make([]float64, n*n)
+	for i := range av {
+		av[i] = float64(i%7) - 3
+		bv[i] = float64(i%5) * 0.25
+		s.WriteFloat64(a+int64(i)*8, av[i])
+		s.WriteFloat64(b+int64(i)*8, bv[i])
+	}
+	dispatch(t, p, TiledGEMM(a, b, c, n), n, 8)
+	for r := 0; r < n; r++ {
+		for cc := 0; cc < n; cc++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += av[r*n+k] * bv[k*n+cc]
+			}
+			if got := s.ReadFloat64(c + idx(r, cc)); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("C[%d,%d] = %v, want %v", r, cc, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	p, s := rig(t)
+	const n, buckets, wgs = 1 << 16, 16, 64
+	in := alloc(t, s, n)
+	out := alloc(t, s, int64(wgs*buckets)*8)
+	data := make([]byte, n)
+	ref := make([]uint64, buckets)
+	for i := range data {
+		data[i] = byte((i * 31) % 256)
+		ref[int(data[i])%buckets]++
+	}
+	s.Write(in, data)
+	k, err := Histogram(in, out, n, buckets, wgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatch(t, p, k, wgs*256, 256)
+	got := FinishHistogram(s, out, buckets, wgs)
+	var total uint64
+	for b := range got {
+		if got[b] != ref[b] {
+			t.Errorf("bucket %d = %d, want %d", b, got[b], ref[b])
+		}
+		total += got[b]
+	}
+	if total != n {
+		t.Errorf("histogram total = %d, want %d", total, n)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := Histogram(0, 0, 10, 0, 1); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := Histogram(0, 0, 10, 512, 1); err == nil {
+		t.Error("512 buckets accepted")
+	}
+}
+
+// Property: reduction of any random vector matches the serial sum.
+func TestReductionMatchesSerialProperty(t *testing.T) {
+	p, s := rig(t)
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		var want float64
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			clean = append(clean, v)
+			want += v
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		x, err := s.Alloc(int64(len(clean))*8, 4096)
+		if err != nil {
+			return false
+		}
+		wgs := (len(clean) + 255) / 256
+		partials, err := s.Alloc(int64(wgs)*8, 4096)
+		if err != nil {
+			return false
+		}
+		for i, v := range clean {
+			s.WriteFloat64(x+int64(i)*8, v)
+		}
+		if _, err := p.GPU.Dispatch(0, ReductionSum(x, partials, len(clean)), len(clean), 256, 0); err != nil {
+			return false
+		}
+		got := FinishReduction(s, partials, wgs)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

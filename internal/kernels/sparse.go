@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// This file adds the memory-system-stressing kernels: CSR sparse
+// matrix-vector multiply (the HPCG building block), matrix transpose (a
+// worst case for row buffers and caches), and an exclusive prefix scan.
+
+// CSRMatrix is a compressed-sparse-row matrix resident in simulated
+// memory: rowPtr (n+1 × u32), colIdx (nnz × u32), values (nnz × f64).
+type CSRMatrix struct {
+	Rows   int
+	RowPtr int64
+	ColIdx int64
+	Values int64
+}
+
+// BuildCSRStencil writes a 1-D 3-point stencil matrix (tridiagonal) into
+// the space and returns its descriptor — a compact stand-in for the HPCG
+// operator with verifiable structure.
+func BuildCSRStencil(space *mem.Space, rows int) (*CSRMatrix, error) {
+	if rows < 2 {
+		return nil, fmt.Errorf("kernels: %d rows too small", rows)
+	}
+	nnz := 3*rows - 2
+	rowPtr, err := space.Alloc(int64(rows+1)*4, 4096)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, err := space.Alloc(int64(nnz)*4, 4096)
+	if err != nil {
+		return nil, err
+	}
+	values, err := space.Alloc(int64(nnz)*8, 4096)
+	if err != nil {
+		return nil, err
+	}
+	m := &CSRMatrix{Rows: rows, RowPtr: rowPtr, ColIdx: colIdx, Values: values}
+	var ptr uint32
+	for r := 0; r < rows; r++ {
+		space.WriteUint32(rowPtr+int64(r)*4, ptr)
+		put := func(c int, v float64) {
+			space.WriteUint32(colIdx+int64(ptr)*4, uint32(c))
+			space.WriteFloat64(values+int64(ptr)*8, v)
+			ptr++
+		}
+		if r > 0 {
+			put(r-1, -1)
+		}
+		put(r, 2)
+		if r < rows-1 {
+			put(r+1, -1)
+		}
+	}
+	space.WriteUint32(rowPtr+int64(rows)*4, ptr)
+	return m, nil
+}
+
+// SpMV returns y = A·x for a CSR matrix: one work-item per row, with the
+// low arithmetic intensity (~0.17 flops/byte) that makes SpMV the
+// canonical bandwidth-bound kernel.
+func SpMV(m *CSRMatrix, xAddr, yAddr int64) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "spmv",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem:        6,  // ~3 nnz × 2 flops
+		BytesReadPerItem:    44, // rowPtr + 3×(colIdx+value) + x gathers
+		BytesWrittenPerItem: 8,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, m.Rows)
+			for r := lo; r < hi; r++ {
+				start := env.Mem.ReadUint32(m.RowPtr + int64(r)*4)
+				end := env.Mem.ReadUint32(m.RowPtr + int64(r+1)*4)
+				var acc float64
+				for p := start; p < end; p++ {
+					c := env.Mem.ReadUint32(m.ColIdx + int64(p)*4)
+					v := env.Mem.ReadFloat64(m.Values + int64(p)*8)
+					acc += v * env.Mem.ReadFloat64(xAddr+int64(c)*8)
+				}
+				env.Mem.WriteFloat64(yAddr+int64(r)*8, acc)
+			}
+		},
+	}
+}
+
+// Transpose returns B = Aᵀ for an n×n float64 matrix, one work-item per
+// row: the column-strided writes are the classic row-buffer/cache
+// adversary.
+func Transpose(aAddr, bAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "transpose",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem:        0.5, // address arithmetic only
+		BytesReadPerItem:    8 * float64(n),
+		BytesWrittenPerItem: 8 * float64(n),
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			for r := lo; r < hi; r++ {
+				for c := 0; c < n; c++ {
+					v := env.Mem.ReadFloat64(aAddr + int64(r*n+c)*8)
+					env.Mem.WriteFloat64(bAddr+int64(c*n+r)*8, v)
+				}
+			}
+		},
+	}
+}
+
+// ExclusiveScan computes an exclusive prefix sum over n float64s using
+// the two-level decomposition: a per-workgroup scan kernel plus a host
+// fix-up pass (FinishScan). partials must hold ceil(n/wgSize) values.
+func ExclusiveScan(inAddr, outAddr, partialsAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "scan",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 2, BytesReadPerItem: 8, BytesWrittenPerItem: 8,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := min(lo+wgSize, n)
+			var run float64
+			for i := lo; i < hi; i++ {
+				env.Mem.WriteFloat64(outAddr+int64(i)*8, run)
+				run += env.Mem.ReadFloat64(inAddr + int64(i)*8)
+			}
+			env.Mem.WriteFloat64(partialsAddr+int64(wgID)*8, run)
+		},
+	}
+}
+
+// FinishScan applies the across-workgroup offsets (second level of the
+// scan), completing the exclusive prefix sum in place.
+func FinishScan(space *mem.Space, outAddr, partialsAddr int64, n, wgSize int) {
+	workgroups := (n + wgSize - 1) / wgSize
+	var offset float64
+	for wg := 0; wg < workgroups; wg++ {
+		if wg > 0 {
+			lo := wg * wgSize
+			hi := min(lo+wgSize, n)
+			for i := lo; i < hi; i++ {
+				v := space.ReadFloat64(outAddr + int64(i)*8)
+				space.WriteFloat64(outAddr+int64(i)*8, v+offset)
+			}
+		}
+		offset += space.ReadFloat64(partialsAddr + int64(wg)*8)
+	}
+}

@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildCSRStencilStructure(t *testing.T) {
+	_, s := rig(t)
+	m, err := BuildCSRStencil(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: 2 entries; interior rows: 3; last row: 2.
+	first := s.ReadUint32(m.RowPtr + 4)
+	if first != 2 {
+		t.Errorf("row 0 nnz = %d, want 2", first)
+	}
+	total := s.ReadUint32(m.RowPtr + 100*4)
+	if total != 3*100-2 {
+		t.Errorf("total nnz = %d, want 298", total)
+	}
+	if _, err := BuildCSRStencil(s, 1); err == nil {
+		t.Error("degenerate matrix accepted")
+	}
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	p, s := rig(t)
+	const n = 5000
+	m, err := BuildCSRStencil(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := alloc(t, s, n*8)
+	y := alloc(t, s, n*8)
+	xv := make([]float64, n)
+	for i := range xv {
+		xv[i] = float64(i%13) - 6
+		s.WriteFloat64(x+int64(i)*8, xv[i])
+	}
+	dispatch(t, p, SpMV(m, x, y), n, 256)
+	// Reference: tridiagonal [-1, 2, -1].
+	for r := 0; r < n; r++ {
+		want := 2 * xv[r]
+		if r > 0 {
+			want -= xv[r-1]
+		}
+		if r < n-1 {
+			want -= xv[r+1]
+		}
+		if got := s.ReadFloat64(y + int64(r)*8); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	p, s := rig(t)
+	const n = 96
+	a := alloc(t, s, n*n*8)
+	b := alloc(t, s, n*n*8)
+	c := alloc(t, s, n*n*8)
+	for i := 0; i < n*n; i++ {
+		s.WriteFloat64(a+int64(i)*8, float64(i)*0.5)
+	}
+	dispatch(t, p, Transpose(a, b, n), n, 32)
+	dispatch(t, p, Transpose(b, c, n), n, 32)
+	// Transpose twice = identity.
+	for i := 0; i < n*n; i++ {
+		if got := s.ReadFloat64(c + int64(i)*8); got != float64(i)*0.5 {
+			t.Fatalf("double transpose mismatch at %d", i)
+		}
+	}
+	// Single transpose: B[c][r] = A[r][c].
+	if got := s.ReadFloat64(b + int64(3*n+7)*8); got != s.ReadFloat64(a+int64(7*n+3)*8) {
+		t.Error("transpose wrong")
+	}
+}
+
+func TestExclusiveScanMatchesReference(t *testing.T) {
+	p, s := rig(t)
+	const n, wg = 10_000, 256
+	in := alloc(t, s, n*8)
+	out := alloc(t, s, n*8)
+	partials := alloc(t, s, int64((n+wg-1)/wg)*8)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%7) + 0.25
+		s.WriteFloat64(in+int64(i)*8, vals[i])
+	}
+	dispatch(t, p, ExclusiveScan(in, out, partials, n), n, wg)
+	FinishScan(s, out, partials, n, wg)
+	var run float64
+	for i := 0; i < n; i++ {
+		if got := s.ReadFloat64(out + int64(i)*8); math.Abs(got-run) > 1e-9 {
+			t.Fatalf("scan[%d] = %v, want %v", i, got, run)
+		}
+		run += vals[i]
+	}
+}

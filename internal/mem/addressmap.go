@@ -1,0 +1,99 @@
+// Package mem models the MI300 memory system: the HBM stacks and their
+// channels with occupancy-based timing, the 4 KB physical-address
+// interleave hash that spreads sequential addresses across stacks (§IV.D),
+// and a sparse functional address space so programs in the simulator can
+// actually read and write a 128+ GB unified memory without committing host
+// RAM. The same channel machinery models host DDR for discrete baselines.
+package mem
+
+import "fmt"
+
+// AddressMap implements the interleaving scheme of §IV.D: every
+// InterleaveGranule (4 KB) of sequential physical addresses maps to the
+// same HBM stack before moving to another stack chosen by an address hash.
+// Within a stack, granules round-robin across the stack's channels.
+type AddressMap struct {
+	Granule  int64
+	Stacks   int
+	Channels int // per stack
+	// NUMADomains > 1 subdivides the stacks into NPS-style domains
+	// (§VIII): the physical address space is split into NUMADomains
+	// contiguous regions of Capacity/NUMADomains bytes, and addresses in
+	// domain d interleave only across that domain's stacks.
+	NUMADomains int
+	// Capacity is the total address-space size, required when
+	// NUMADomains > 1 to locate the domain boundaries.
+	Capacity int64
+}
+
+// NewAddressMap returns an interleaving map across stacks×channels with the
+// given granule. It panics on degenerate geometry.
+func NewAddressMap(granule int64, stacks, channelsPerStack int) *AddressMap {
+	if granule <= 0 || stacks <= 0 || channelsPerStack <= 0 {
+		panic(fmt.Sprintf("mem: bad address map geometry granule=%d stacks=%d ch=%d",
+			granule, stacks, channelsPerStack))
+	}
+	return &AddressMap{Granule: granule, Stacks: stacks, Channels: channelsPerStack, NUMADomains: 1}
+}
+
+// hashGranule mixes the granule index so that strided access patterns do not
+// camp on one stack — the "physical address hashing scheme" of §IV.D.
+func hashGranule(g uint64) uint64 {
+	g ^= g >> 30
+	g *= 0xBF58476D1CE4E5B9
+	g ^= g >> 27
+	g *= 0x94D049BB133111EB
+	g ^= g >> 31
+	return g
+}
+
+// Stack reports which HBM stack the address belongs to.
+func (m *AddressMap) Stack(addr int64) int {
+	g := uint64(addr) / uint64(m.Granule)
+	if m.NUMADomains <= 1 {
+		return int(hashGranule(g) % uint64(m.Stacks))
+	}
+	// NPS>1: the address space is statically partitioned into contiguous
+	// domains; the address's region selects the domain, the hash selects
+	// a stack within it.
+	perDomain := m.Stacks / m.NUMADomains
+	span := m.Capacity / int64(m.NUMADomains)
+	if span <= 0 {
+		span = 1
+	}
+	domain := int(addr / span)
+	if domain >= m.NUMADomains {
+		domain = m.NUMADomains - 1
+	}
+	return domain*perDomain + int(hashGranule(g)%uint64(perDomain))
+}
+
+// Channel reports the global channel index (stack*Channels + local) for the
+// address.
+func (m *AddressMap) Channel(addr int64) int {
+	g := uint64(addr) / uint64(m.Granule)
+	stack := m.Stack(addr)
+	// The channel within the stack comes from the high bits of the same
+	// hash, so stack and channel selection stay decorrelated.
+	local := int((hashGranule(g) >> 32) % uint64(m.Channels))
+	return stack*m.Channels + local
+}
+
+// TotalChannels reports stacks × channels-per-stack.
+func (m *AddressMap) TotalChannels() int { return m.Stacks * m.Channels }
+
+// GranuleSpan calls fn for each (channel, bytes) chunk of the byte range
+// [addr, addr+n), split at granule boundaries. This is how multi-granule
+// accesses fan out across channels.
+func (m *AddressMap) GranuleSpan(addr, n int64, fn func(channel int, bytes int64)) {
+	for n > 0 {
+		inGranule := m.Granule - addr%m.Granule
+		chunk := n
+		if chunk > inGranule {
+			chunk = inGranule
+		}
+		fn(m.Channel(addr), chunk)
+		addr += chunk
+		n -= chunk
+	}
+}

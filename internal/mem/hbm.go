@@ -1,0 +1,217 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Channel is one memory channel with a fixed bandwidth, an occupancy
+// horizon, and a bank/row-buffer model: accesses that hit an open row see
+// only the column latency, while row misses pay precharge + activate.
+// Bank activation overlaps with other banks' data transfers, so row
+// misses add latency to the request without consuming channel bandwidth —
+// the standard behavior of a deeply banked HBM channel.
+type Channel struct {
+	Index int
+	BW    float64 // bytes/sec
+
+	// Banks and RowBytes configure the row-buffer model; Banks == 0
+	// disables it.
+	Banks    int
+	RowBytes int64
+	// RowMissPenalty is the extra latency of precharge + activate.
+	RowMissPenalty sim.Time
+
+	openRows  []int64
+	busyUntil sim.Time
+	bytes     uint64
+	reads     uint64
+	writes    uint64
+	rowHits   uint64
+	rowMisses uint64
+}
+
+// Occupy claims the channel for nbytes starting no earlier than start and
+// returns the completion time (no bank modeling; kept for flat devices).
+func (c *Channel) Occupy(start sim.Time, nbytes int64, write bool) sim.Time {
+	return c.OccupyAt(start, -1, nbytes, write)
+}
+
+// OccupyAt claims the channel for nbytes at addr, applying the row-buffer
+// model when banks are configured and addr >= 0.
+func (c *Channel) OccupyAt(start sim.Time, addr, nbytes int64, write bool) sim.Time {
+	var penalty sim.Time
+	if c.Banks > 0 && addr >= 0 && c.RowBytes > 0 {
+		if c.openRows == nil {
+			c.openRows = make([]int64, c.Banks)
+			for i := range c.openRows {
+				c.openRows[i] = -1
+			}
+		}
+		row := addr / c.RowBytes
+		bank := int(uint64(row) % uint64(c.Banks))
+		if c.openRows[bank] == row {
+			c.rowHits++
+		} else {
+			c.rowMisses++
+			c.openRows[bank] = row
+			penalty = c.RowMissPenalty
+		}
+	}
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	end := start + sim.FromSeconds(float64(nbytes)/c.BW)
+	c.busyUntil = end
+	c.bytes += uint64(nbytes)
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	// The activation penalty delays this request's data but does not
+	// block the channel (other banks keep transferring).
+	return end + penalty
+}
+
+// RowStats reports (row hits, row misses).
+func (c *Channel) RowStats() (hits, misses uint64) { return c.rowHits, c.rowMisses }
+
+// BytesMoved reports total bytes served by the channel.
+func (c *Channel) BytesMoved() uint64 { return c.bytes }
+
+// Counts reports (reads, writes) served.
+func (c *Channel) Counts() (reads, writes uint64) { return c.reads, c.writes }
+
+// BusyUntil reports the channel's occupancy horizon.
+func (c *Channel) BusyUntil() sim.Time { return c.busyUntil }
+
+// HBM is a set of stacks × channels with a shared address map and a fixed
+// array access latency. It models DDR equally well (one "stack", fewer
+// channels, lower bandwidth).
+type HBM struct {
+	Name     string
+	Map      *AddressMap
+	Latency  sim.Time // row access latency added to every request
+	channels []*Channel
+	capacity int64
+}
+
+// NewHBM builds a memory device: stacks × channelsPerStack channels, each
+// with stackBW/channelsPerStack bytes/sec.
+func NewHBM(name string, stacks, channelsPerStack int, stackBW float64, capacity int64, latency sim.Time) *HBM {
+	m := &HBM{
+		Name:     name,
+		Map:      NewAddressMap(4096, stacks, channelsPerStack),
+		Latency:  latency,
+		capacity: capacity,
+	}
+	perChannel := stackBW / float64(channelsPerStack)
+	for i := 0; i < stacks*channelsPerStack; i++ {
+		m.channels = append(m.channels, &Channel{
+			Index: i, BW: perChannel,
+			Banks: 16, RowBytes: 1024, RowMissPenalty: 35 * sim.Nanosecond,
+		})
+	}
+	return m
+}
+
+// Capacity reports the device capacity in bytes.
+func (h *HBM) Capacity() int64 { return h.capacity }
+
+// Channels returns the channel list.
+func (h *HBM) Channels() []*Channel { return h.channels }
+
+// Channel returns channel i.
+func (h *HBM) Channel(i int) *Channel {
+	if i < 0 || i >= len(h.channels) {
+		panic(fmt.Sprintf("mem: channel %d out of range (%d channels)", i, len(h.channels)))
+	}
+	return h.channels[i]
+}
+
+// PeakBW reports the aggregate peak bandwidth.
+func (h *HBM) PeakBW() float64 {
+	var bw float64
+	for _, c := range h.channels {
+		bw += c.BW
+	}
+	return bw
+}
+
+// Access serves a read or write of nbytes at addr starting at start. The
+// access is split at interleave-granule boundaries across channels; the
+// returned time is when the last chunk completes. Accesses to different
+// channels proceed in parallel — this is the bandwidth-amplification
+// mechanism of the fine interleave (§IV.D).
+func (h *HBM) Access(start sim.Time, addr, nbytes int64, write bool) sim.Time {
+	if nbytes <= 0 {
+		return start
+	}
+	end := start
+	pos := addr
+	h.Map.GranuleSpan(addr, nbytes, func(ch int, chunk int64) {
+		done := h.channels[ch].OccupyAt(start+h.Latency, pos, chunk, write)
+		pos += chunk
+		if done > end {
+			end = done
+		}
+	})
+	return end
+}
+
+// BytesMoved reports total bytes served across all channels.
+func (h *HBM) BytesMoved() uint64 {
+	var b uint64
+	for _, c := range h.channels {
+		b += c.bytes
+	}
+	return b
+}
+
+// AchievedBW reports average bandwidth over [0, horizon].
+func (h *HBM) AchievedBW(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(h.BytesMoved()) / horizon.Seconds()
+}
+
+// ResetStats clears occupancy, counters, and row-buffer state.
+func (h *HBM) ResetStats() {
+	for _, c := range h.channels {
+		c.busyUntil = 0
+		c.bytes = 0
+		c.reads = 0
+		c.writes = 0
+		c.rowHits = 0
+		c.rowMisses = 0
+		c.openRows = nil
+	}
+}
+
+// RowHitRate reports the aggregate row-buffer hit fraction.
+func (h *HBM) RowHitRate() float64 {
+	var hits, misses uint64
+	for _, c := range h.channels {
+		hits += c.rowHits
+		misses += c.rowMisses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// SetNUMADomains reconfigures the interleave into n NUMA domains (NPS
+// modes, §VIII): the address space splits into n contiguous regions,
+// each interleaving over its own stacks. n must divide the stack count.
+func (h *HBM) SetNUMADomains(n int) error {
+	if n <= 0 || h.Map.Stacks%n != 0 {
+		return fmt.Errorf("mem: %d NUMA domains do not divide %d stacks", n, h.Map.Stacks)
+	}
+	h.Map.NUMADomains = n
+	h.Map.Capacity = h.capacity
+	return nil
+}

@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// pageBits sizes the sparse backing pages (64 KiB).
+const pageBits = 16
+const pageSize = 1 << pageBits
+
+// Space is a sparse, functional flat address space. It lets simulated
+// programs genuinely store and load data in a multi-hundred-GB "physical"
+// memory while only committing host pages that are touched. A unified-
+// memory APU shares one Space between CPU and GPU models; a discrete
+// platform has two Spaces and must copy between them.
+type Space struct {
+	name  string
+	size  int64
+	pages map[int64]*[pageSize]byte
+	brk   int64 // bump allocator watermark
+}
+
+// NewSpace returns an address space of the given byte size.
+func NewSpace(name string, size int64) *Space {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: space %q with non-positive size %d", name, size))
+	}
+	return &Space{name: name, size: size, pages: make(map[int64]*[pageSize]byte)}
+}
+
+// Name reports the space's name.
+func (s *Space) Name() string { return s.name }
+
+// Size reports the space's capacity in bytes.
+func (s *Space) Size() int64 { return s.size }
+
+// Allocated reports the current bump-allocator watermark.
+func (s *Space) Allocated() int64 { return s.brk }
+
+// TouchedBytes reports how much host memory is committed for this space.
+func (s *Space) TouchedBytes() int64 { return int64(len(s.pages)) * pageSize }
+
+// Alloc reserves n bytes aligned to align (power of two; 0 means 256) and
+// returns the base address. It returns an error when the space is full.
+func (s *Space) Alloc(n int64, align int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: alloc of %d bytes", n)
+	}
+	if align <= 0 {
+		align = 256
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: alignment %d is not a power of two", align)
+	}
+	base := (s.brk + align - 1) &^ (align - 1)
+	if base+n > s.size {
+		return 0, fmt.Errorf("mem: %q out of memory: want %d at %d, size %d", s.name, n, base, s.size)
+	}
+	s.brk = base + n
+	return base, nil
+}
+
+// Reset discards all allocations and data.
+func (s *Space) Reset() {
+	s.brk = 0
+	s.pages = make(map[int64]*[pageSize]byte)
+}
+
+func (s *Space) check(addr, n int64) {
+	if addr < 0 || n < 0 || addr+n > s.size {
+		panic(fmt.Sprintf("mem: %q access [%d, %d) out of bounds (size %d)", s.name, addr, addr+n, s.size))
+	}
+}
+
+func (s *Space) page(idx int64, create bool) *[pageSize]byte {
+	p := s.pages[idx]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		s.pages[idx] = p
+	}
+	return p
+}
+
+// Write copies buf into the space at addr.
+func (s *Space) Write(addr int64, buf []byte) {
+	s.check(addr, int64(len(buf)))
+	for len(buf) > 0 {
+		idx := addr >> pageBits
+		off := addr & (pageSize - 1)
+		n := int64(pageSize) - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		p := s.page(idx, true)
+		copy(p[off:off+n], buf[:n])
+		addr += n
+		buf = buf[n:]
+	}
+}
+
+// Read copies the space at addr into buf. Untouched bytes read as zero.
+func (s *Space) Read(addr int64, buf []byte) {
+	s.check(addr, int64(len(buf)))
+	for len(buf) > 0 {
+		idx := addr >> pageBits
+		off := addr & (pageSize - 1)
+		n := int64(pageSize) - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if p := s.page(idx, false); p != nil {
+			copy(buf[:n], p[off:off+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		addr += n
+		buf = buf[n:]
+	}
+}
+
+// WriteFloat64 stores a float64 at addr.
+func (s *Space) WriteFloat64(addr int64, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	s.Write(addr, b[:])
+}
+
+// ReadFloat64 loads a float64 from addr.
+func (s *Space) ReadFloat64(addr int64) float64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// WriteUint64 stores a uint64 at addr.
+func (s *Space) WriteUint64(addr int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// ReadUint64 loads a uint64 from addr.
+func (s *Space) ReadUint64(addr int64) uint64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteUint32 stores a uint32 at addr.
+func (s *Space) WriteUint32(addr int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// ReadUint32 loads a uint32 from addr.
+func (s *Space) ReadUint32(addr int64) uint32 {
+	var b [4]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Copy copies n bytes from src space/address to dst space/address. It is
+// the functional half of a hipMemcpy; timing is charged by the caller.
+func Copy(dst *Space, dstAddr int64, src *Space, srcAddr, n int64) {
+	buf := make([]byte, 64*1024)
+	for n > 0 {
+		chunk := int64(len(buf))
+		if chunk > n {
+			chunk = n
+		}
+		src.Read(srcAddr, buf[:chunk])
+		dst.Write(dstAddr, buf[:chunk])
+		srcAddr += chunk
+		dstAddr += chunk
+		n -= chunk
+	}
+}

@@ -1,0 +1,189 @@
+// Package partition implements the compute and memory partitioning modes
+// of §VIII (Fig. 17): MI300A's six XCDs run as one device (SPX) or three
+// partitions (TPX), always with a single uniformly-interleaved NUMA domain
+// (NPS1); the XCD-only MI300X additionally partitions in powers of two
+// down to one XCD per partition (CPX) and can subdivide memory into four
+// NUMA domains (NPS4), which maps naturally onto PCIe SR-IOV virtual
+// functions for multi-tenant deployments.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Mode is one compute-partitioning option.
+type Mode struct {
+	Name       string
+	Partitions int
+	XCDsPer    int
+}
+
+// String renders the mode.
+func (m Mode) String() string {
+	return fmt.Sprintf("%s (%d×%d XCDs)", m.Name, m.Partitions, m.XCDsPer)
+}
+
+// NPS is a memory NUMA-domain configuration.
+type NPS int
+
+const (
+	// NPS1 interleaves the whole HBM space uniformly: one NUMA domain
+	// per socket.
+	NPS1 NPS = 1
+	// NPS4 subdivides the memory space into four NUMA domains per socket.
+	NPS4 NPS = 4
+)
+
+// String names the NPS mode.
+func (n NPS) String() string { return fmt.Sprintf("NPS%d", int(n)) }
+
+// ModesFor reports the compute partition modes a platform supports.
+// MI300A: SPX, TPX. MI300X: SPX, DPX, QPX, CPX (powers of two).
+func ModesFor(spec *config.PlatformSpec) []Mode {
+	switch {
+	case spec.CCDs > 0:
+		// APU: "the six XCDs can be used as a single compute device or
+		// as three separate partitions" (§VIII).
+		return []Mode{
+			{Name: "SPX", Partitions: 1, XCDsPer: spec.XCDs},
+			{Name: "TPX", Partitions: 3, XCDsPer: spec.XCDs / 3},
+		}
+	default:
+		var modes []Mode
+		names := map[int]string{1: "SPX", 2: "DPX", 4: "QPX", 8: "CPX"}
+		for n := 1; n <= spec.XCDs; n *= 2 {
+			if spec.XCDs%n != 0 {
+				continue
+			}
+			name := names[n]
+			if name == "" {
+				name = fmt.Sprintf("P%d", n)
+			}
+			modes = append(modes, Mode{Name: name, Partitions: n, XCDsPer: spec.XCDs / n})
+		}
+		return modes
+	}
+}
+
+// NPSModesFor reports the memory modes a platform supports: MI300A is
+// NPS1-only; MI300X supports NPS1 and NPS4.
+func NPSModesFor(spec *config.PlatformSpec) []NPS {
+	if spec.CCDs > 0 {
+		return []NPS{NPS1}
+	}
+	return []NPS{NPS1, NPS4}
+}
+
+// VF is a PCIe SR-IOV virtual function bound to one compute partition.
+type VF struct {
+	Index     int
+	Partition int
+}
+
+// Config is a validated partitioning configuration.
+type Config struct {
+	Platform *config.PlatformSpec
+	Mode     Mode
+	NPS      NPS
+	// Assignments[p] lists the XCD indices of partition p, contiguous so
+	// partition XCDs share IODs where possible.
+	Assignments [][]int
+	// VFs maps one SR-IOV virtual function per partition.
+	VFs []VF
+	// MemoryPerDomain is bytes per NUMA domain.
+	MemoryPerDomain int64
+}
+
+// Configure validates and builds a partitioning configuration.
+func Configure(spec *config.PlatformSpec, modeName string, nps NPS) (*Config, error) {
+	var mode Mode
+	found := false
+	for _, m := range ModesFor(spec) {
+		if m.Name == modeName {
+			mode, found = m, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("partition: %s does not support mode %q", spec.Name, modeName)
+	}
+	npsOK := false
+	for _, n := range NPSModesFor(spec) {
+		if n == nps {
+			npsOK = true
+			break
+		}
+	}
+	if !npsOK {
+		return nil, fmt.Errorf("partition: %s does not support %s", spec.Name, nps)
+	}
+	if nps == NPS4 && spec.HBM.Stacks%4 != 0 {
+		return nil, fmt.Errorf("partition: NPS4 requires stacks divisible by 4, have %d", spec.HBM.Stacks)
+	}
+	c := &Config{
+		Platform:        spec,
+		Mode:            mode,
+		NPS:             nps,
+		MemoryPerDomain: spec.MemoryCapacity() / int64(nps),
+	}
+	for p := 0; p < mode.Partitions; p++ {
+		xcds := make([]int, 0, mode.XCDsPer)
+		for i := 0; i < mode.XCDsPer; i++ {
+			xcds = append(xcds, p*mode.XCDsPer+i)
+		}
+		c.Assignments = append(c.Assignments, xcds)
+		c.VFs = append(c.VFs, VF{Index: p, Partition: p})
+	}
+	return c, nil
+}
+
+// Validate re-checks structural invariants (used by property tests).
+func (c *Config) Validate() error {
+	seen := map[int]bool{}
+	for p, xcds := range c.Assignments {
+		if len(xcds) != c.Mode.XCDsPer {
+			return fmt.Errorf("partition %d has %d XCDs, want %d", p, len(xcds), c.Mode.XCDsPer)
+		}
+		for _, x := range xcds {
+			if x < 0 || x >= c.Platform.XCDs {
+				return fmt.Errorf("partition %d references XCD %d of %d", p, x, c.Platform.XCDs)
+			}
+			if seen[x] {
+				return fmt.Errorf("XCD %d in multiple partitions", x)
+			}
+			seen[x] = true
+		}
+	}
+	if len(seen) != c.Platform.XCDs {
+		return fmt.Errorf("partitions cover %d of %d XCDs", len(seen), c.Platform.XCDs)
+	}
+	if len(c.VFs) != c.Mode.Partitions {
+		return fmt.Errorf("%d VFs for %d partitions", len(c.VFs), c.Mode.Partitions)
+	}
+	return nil
+}
+
+// CUsPerPartition reports enabled CUs available to each partition.
+func (c *Config) CUsPerPartition() int {
+	return c.Mode.XCDsPer * c.Platform.XCD.EnabledCUs
+}
+
+// BWPerPartition reports the HBM bandwidth share per partition: with NPS1
+// every partition interleaves over the whole memory system; with NPS4
+// each domain owns a quarter of the channels.
+func (c *Config) BWPerPartition() float64 {
+	total := c.Platform.PeakMemoryBW()
+	if c.NPS == NPS1 {
+		return total / float64(c.Mode.Partitions)
+	}
+	// NPS4: partitions map onto domains; each domain has stacks/4 of
+	// the bandwidth dedicated (no cross-tenant interference).
+	perDomain := total / 4
+	partsPerDomain := c.Mode.Partitions / 4
+	if partsPerDomain < 1 {
+		partsPerDomain = 1
+	}
+	return perDomain / float64(partsPerDomain)
+}

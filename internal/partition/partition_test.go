@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func TestMI300AModes(t *testing.T) {
+	modes := ModesFor(config.MI300A())
+	if len(modes) != 2 {
+		t.Fatalf("MI300A modes = %v, want SPX and TPX (Fig. 17a)", modes)
+	}
+	if modes[0].Name != "SPX" || modes[0].Partitions != 1 || modes[0].XCDsPer != 6 {
+		t.Errorf("SPX = %v", modes[0])
+	}
+	if modes[1].Name != "TPX" || modes[1].Partitions != 3 || modes[1].XCDsPer != 2 {
+		t.Errorf("TPX = %v", modes[1])
+	}
+}
+
+func TestMI300XModes(t *testing.T) {
+	modes := ModesFor(config.MI300X())
+	// "partitioned in powers of two from a single unified partition down
+	// to eight separate partitions" (Fig. 17b).
+	want := map[string]int{"SPX": 1, "DPX": 2, "QPX": 4, "CPX": 8}
+	if len(modes) != 4 {
+		t.Fatalf("MI300X modes = %v", modes)
+	}
+	for _, m := range modes {
+		if want[m.Name] != m.Partitions {
+			t.Errorf("mode %v unexpected", m)
+		}
+		if m.Partitions*m.XCDsPer != 8 {
+			t.Errorf("mode %v does not cover 8 XCDs", m)
+		}
+	}
+}
+
+func TestNPSModes(t *testing.T) {
+	if got := NPSModesFor(config.MI300A()); len(got) != 1 || got[0] != NPS1 {
+		t.Errorf("MI300A NPS modes = %v, want [NPS1] (§VIII)", got)
+	}
+	if got := NPSModesFor(config.MI300X()); len(got) != 2 {
+		t.Errorf("MI300X NPS modes = %v, want [NPS1 NPS4]", got)
+	}
+}
+
+func TestConfigureValid(t *testing.T) {
+	cases := []struct {
+		spec *config.PlatformSpec
+		mode string
+		nps  NPS
+	}{
+		{config.MI300A(), "SPX", NPS1},
+		{config.MI300A(), "TPX", NPS1},
+		{config.MI300X(), "SPX", NPS1},
+		{config.MI300X(), "CPX", NPS4},
+		{config.MI300X(), "QPX", NPS4},
+	}
+	for _, c := range cases {
+		cfg, err := Configure(c.spec, c.mode, c.nps)
+		if err != nil {
+			t.Errorf("%s/%s/%s: %v", c.spec.Name, c.mode, c.nps, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s/%s: invalid config: %v", c.spec.Name, c.mode, err)
+		}
+	}
+}
+
+func TestConfigureRejectsInvalid(t *testing.T) {
+	if _, err := Configure(config.MI300A(), "CPX", NPS1); err == nil {
+		t.Error("MI300A CPX accepted")
+	}
+	if _, err := Configure(config.MI300A(), "SPX", NPS4); err == nil {
+		t.Error("MI300A NPS4 accepted (§VIII: APU is NPS1 only)")
+	}
+	if _, err := Configure(config.MI300X(), "TPX", NPS1); err == nil {
+		t.Error("MI300X TPX accepted")
+	}
+}
+
+func TestVFsMapOneToOne(t *testing.T) {
+	cfg, err := Configure(config.MI300X(), "CPX", NPS1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.VFs) != 8 {
+		t.Fatalf("VFs = %d, want 8 (SR-IOV per partition)", len(cfg.VFs))
+	}
+	for i, vf := range cfg.VFs {
+		if vf.Partition != i {
+			t.Errorf("VF %d bound to partition %d", i, vf.Partition)
+		}
+	}
+}
+
+func TestResourceShares(t *testing.T) {
+	spx, _ := Configure(config.MI300A(), "SPX", NPS1)
+	tpx, _ := Configure(config.MI300A(), "TPX", NPS1)
+	if spx.CUsPerPartition() != 228 {
+		t.Errorf("SPX CUs = %d, want 228", spx.CUsPerPartition())
+	}
+	if tpx.CUsPerPartition() != 76 {
+		t.Errorf("TPX CUs = %d, want 76", tpx.CUsPerPartition())
+	}
+	if spx.BWPerPartition() != config.MI300A().PeakMemoryBW() {
+		t.Error("SPX should own full bandwidth")
+	}
+	if got, want := tpx.BWPerPartition(), config.MI300A().PeakMemoryBW()/3; got != want {
+		t.Errorf("TPX BW share = %g, want %g", got, want)
+	}
+	// NPS1 uniform interleave: one NUMA domain covering all memory.
+	if spx.MemoryPerDomain != config.MI300A().MemoryCapacity() {
+		t.Error("NPS1 domain should cover full capacity")
+	}
+	x4, _ := Configure(config.MI300X(), "QPX", NPS4)
+	if x4.MemoryPerDomain != config.MI300X().MemoryCapacity()/4 {
+		t.Error("NPS4 domain should be a quarter of capacity")
+	}
+	if x4.BWPerPartition() != config.MI300X().PeakMemoryBW()/4 {
+		t.Error("QPX+NPS4 partition should own a dedicated quarter of BW")
+	}
+}
+
+// Property: every supported (mode, nps) combination yields a config whose
+// partitions exactly tile the XCDs.
+func TestConfigureTilingProperty(t *testing.T) {
+	specs := []*config.PlatformSpec{config.MI300A(), config.MI300X()}
+	f := func(si, mi, ni uint8) bool {
+		spec := specs[int(si)%len(specs)]
+		modes := ModesFor(spec)
+		npss := NPSModesFor(spec)
+		m := modes[int(mi)%len(modes)]
+		n := npss[int(ni)%len(npss)]
+		cfg, err := Configure(spec, m.Name, n)
+		if err != nil {
+			return false
+		}
+		return cfg.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package progmodel
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestRunManagedVerifies(t *testing.T) {
+	p := newPlatform(t, config.MI250X())
+	r, st, err := RunManaged(p, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Error("managed program computed wrong results")
+	}
+	pages := int64(testN) * 8 / 4096
+	if st.PagesToDevice != 2*pages {
+		t.Errorf("pages to device = %d, want %d (x and y)", st.PagesToDevice, 2*pages)
+	}
+	if st.PagesToHost != pages {
+		t.Errorf("pages to host = %d, want %d (y back)", st.PagesToHost, pages)
+	}
+	if st.Faults <= 0 {
+		t.Error("no faults recorded")
+	}
+}
+
+func TestManagedSlowerThanExplicitCopies(t *testing.T) {
+	// Page migration moves the same data as explicit hipMemcpy but pays
+	// fault overhead on top — and it moves y twice (write-allocate H2D
+	// plus the D2H readback).
+	pm := newPlatform(t, config.MI250X())
+	rm, _, err := RunManaged(pm, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := newPlatform(t, config.MI250X())
+	rd, err := RunDiscrete(pd, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Total <= rd.Total {
+		t.Errorf("managed (%v) should be slower than explicit copies (%v)", rm.Total, rd.Total)
+	}
+}
+
+func TestTrueUnifiedBeatsManaged(t *testing.T) {
+	// The §VI.B punchline: the APU's physical unified memory beats the
+	// "appearance of unified memory" by the full migration cost.
+	apu := newPlatform(t, config.MI300A())
+	ra, err := RunAPU(apu, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := newPlatform(t, config.MI250X())
+	rm, _, err := RunManaged(disc, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Total >= rm.Total {
+		t.Errorf("APU (%v) should beat managed migration (%v)", ra.Total, rm.Total)
+	}
+	if ra.CopyBytes != 0 || rm.CopyBytes == 0 {
+		t.Error("copy accounting wrong")
+	}
+}
+
+func TestRunManagedRejectsAPU(t *testing.T) {
+	p := newPlatform(t, config.MI300A())
+	if _, _, err := RunManaged(p, testN); err == nil {
+		t.Error("managed migration accepted a unified-memory platform")
+	}
+}
+
+func TestRunDiscreteAsyncVerifiesAndPipelines(t *testing.T) {
+	p := newPlatform(t, config.MI250X())
+	r, err := RunDiscreteAsync(p, 1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Error("async program computed wrong results")
+	}
+	if r.StepByName("pipeline(h2d|kernel|d2h)") == nil {
+		t.Fatal("pipeline step missing")
+	}
+}
+
+func TestAsyncBeatsSyncDiscrete(t *testing.T) {
+	pa := newPlatform(t, config.MI250X())
+	ra, err := RunDiscreteAsync(pa, 1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := newPlatform(t, config.MI250X())
+	rs, err := RunDiscrete(ps, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Total >= rs.Total {
+		t.Errorf("async (%v) should beat synchronous copies (%v)", ra.Total, rs.Total)
+	}
+}
+
+func TestAPUStillBeatsAsyncPipeline(t *testing.T) {
+	// The §VI.B bottom line: even perfectly pipelined copies lose to no
+	// copies. The exposed copy time is the APU's structural advantage.
+	apu := newPlatform(t, config.MI300A())
+	rApu, err := RunAPU(apu, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := newPlatform(t, config.MI250X())
+	rAsync, err := RunDiscreteAsync(disc, 1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rApu.Total >= rAsync.Total {
+		t.Errorf("APU (%v) should beat the async pipeline (%v)", rApu.Total, rAsync.Total)
+	}
+	if rAsync.CopyExposed <= 0 {
+		t.Error("pipeline claims to hide all copy time; some must stay exposed")
+	}
+}
+
+func TestRunDiscreteAsyncValidation(t *testing.T) {
+	p := newPlatform(t, config.MI300A())
+	if _, err := RunDiscreteAsync(p, 1<<20, 16); err == nil {
+		t.Error("async on APU accepted")
+	}
+	d := newPlatform(t, config.MI250X())
+	if _, err := RunDiscreteAsync(d, 1000, 3); err == nil {
+		t.Error("misaligned chunking accepted")
+	}
+}

@@ -1,0 +1,301 @@
+// Package progmodel implements the paper's programming-model comparison
+// (§VI.B, Figs. 14-15) as executable programs on the simulated platforms:
+// the CPU-only program, the discrete-GPU program with hipMalloc/hipMemcpy
+// choreography, and the APU program that allocates once in unified memory
+// and never copies. Each variant really computes (data is initialized,
+// transformed, and checked through the functional memory), and every step
+// is timed on the platform's memory, link, and compute models. The
+// fine-grained producer/consumer overlap of Fig. 15 is also here.
+package progmodel
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Step is one timed program step.
+type Step struct {
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration reports the step's length.
+func (s Step) Duration() sim.Time { return s.End - s.Start }
+
+// Result is the outcome of one program run.
+type Result struct {
+	Program   string
+	Platform  string
+	Steps     []Step
+	Total     sim.Time
+	Verified  bool
+	CopyBytes int64
+}
+
+// step appends a timed step and returns its end.
+func (r *Result) step(name string, start, end sim.Time) sim.Time {
+	r.Steps = append(r.Steps, Step{Name: name, Start: start, End: end})
+	if end > r.Total {
+		r.Total = end
+	}
+	return end
+}
+
+// StepByName finds a step, or nil.
+func (r *Result) StepByName(name string) *Step {
+	for i := range r.Steps {
+		if r.Steps[i].Name == name {
+			return &r.Steps[i]
+		}
+	}
+	return nil
+}
+
+// The program computes y[i] = a*x[i] + b on n float64 elements, then the
+// CPU post-processes sum(y). Verification checks the closed form.
+const (
+	coefA = 3.0
+	coefB = 7.0
+)
+
+func expectedSum(n int) float64 {
+	// sum_{i<n} (3i + 7) = 3 n(n-1)/2 + 7n
+	fn := float64(n)
+	return coefA*fn*(fn-1)/2 + coefB*fn
+}
+
+// initTask returns the CPU task that initializes x[i] = i in the given
+// space.
+func initTask(space interface {
+	WriteFloat64(int64, float64)
+}, xAddr int64, n int) cpu.Task {
+	chunks := 24
+	per := (n + chunks - 1) / chunks
+	return cpu.Task{
+		Name:         "init",
+		Flops:        float64(n), // one op per element
+		BytesWritten: int64(n) * 8,
+		Body: func(env *cpu.Env, chunk int) {
+			lo, hi := chunk*per, (chunk+1)*per
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				space.WriteFloat64(xAddr+int64(i)*8, float64(i))
+			}
+		},
+	}
+}
+
+// sumAndVerify reads y back and checks the closed form.
+func sumAndVerify(space interface {
+	ReadFloat64(int64) float64
+}, yAddr int64, n int) bool {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += space.ReadFloat64(yAddr + int64(i)*8)
+	}
+	want := expectedSum(n)
+	diff := sum - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= want*1e-9
+}
+
+// axpyKernel builds the GPU kernel y = a*x + b over n elements.
+func axpyKernel(xAddr, yAddr int64, n int) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:  "axpy",
+		Class: config.Vector, Dtype: config.FP64,
+		FlopsPerItem: 2, BytesReadPerItem: 8, BytesWrittenPerItem: 8,
+		Body: func(env *gpu.ExecEnv, xcd, wgID, wgSize int, kernarg int64) {
+			lo := wgID * wgSize
+			hi := lo + wgSize
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				x := env.Mem.ReadFloat64(xAddr + int64(i)*8)
+				env.Mem.WriteFloat64(yAddr+int64(i)*8, coefA*x+coefB)
+			}
+		},
+	}
+}
+
+// cpuComputeTask is the CPU fallback of the same computation.
+func cpuComputeTask(space interface {
+	ReadFloat64(int64) float64
+	WriteFloat64(int64, float64)
+}, xAddr, yAddr int64, n int) cpu.Task {
+	chunks := 24
+	per := (n + chunks - 1) / chunks
+	return cpu.Task{
+		Name:      "compute",
+		Flops:     2 * float64(n),
+		BytesRead: int64(n) * 8, BytesWritten: int64(n) * 8,
+		Body: func(env *cpu.Env, chunk int) {
+			lo, hi := chunk*per, (chunk+1)*per
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				x := space.ReadFloat64(xAddr + int64(i)*8)
+				space.WriteFloat64(yAddr+int64(i)*8, coefA*x+coefB)
+			}
+		},
+	}
+}
+
+// postTask is the CPU post-processing (reduction over y).
+func postTask(n int) cpu.Task {
+	return cpu.Task{Name: "post", Flops: float64(n), BytesRead: int64(n) * 8}
+}
+
+// hostCPU picks the CPU complex that runs host code on the platform.
+func hostCPU(p *core.Platform) *cpu.Complex {
+	if p.CPU != nil {
+		return p.CPU
+	}
+	return p.HostCPU
+}
+
+// RunCPUOnly executes the Fig. 14(a) program: malloc, init, compute, post —
+// all on the CPU.
+func RunCPUOnly(p *core.Platform, n int) (*Result, error) {
+	r := &Result{Program: "cpu-only", Platform: p.Spec.Name}
+	c := hostCPU(p)
+	if c == nil {
+		return nil, fmt.Errorf("progmodel: %s has no CPU", p.Spec.Name)
+	}
+	space := p.HostMem
+	xAddr, err := space.Alloc(int64(n)*8, 4096)
+	if err != nil {
+		return nil, err
+	}
+	yAddr, err := space.Alloc(int64(n)*8, 4096)
+	if err != nil {
+		return nil, err
+	}
+	t := r.step("malloc", 0, sim.Microsecond)
+	t = r.step("init", t, c.ExecuteParallel(t, initTask(space, xAddr, n), 24))
+	t = r.step("compute", t, c.ExecuteParallel(t, cpuComputeTask(space, xAddr, yAddr, n), 24))
+	r.step("post", t, c.ExecuteParallel(t, postTask(n), 24))
+	r.Verified = sumAndVerify(space, yAddr, n)
+	return r, nil
+}
+
+// RunDiscrete executes the Fig. 14(b) program on a discrete platform:
+// malloc + hipMalloc, init on host, hipMemcpy H2D, kernel launch, device
+// synchronize, hipMemcpy D2H, post on host.
+func RunDiscrete(p *core.Platform, n int) (*Result, error) {
+	if p.Spec.Memory != config.DiscreteMemory {
+		return nil, fmt.Errorf("progmodel: %s is not a discrete platform", p.Spec.Name)
+	}
+	r := &Result{Program: "discrete-gpu", Platform: p.Spec.Name}
+	c := hostCPU(p)
+	bytes := int64(n) * 8
+
+	hx, err := p.HostMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	hy, err := p.HostMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	dx, err := p.DeviceMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	dy, err := p.DeviceMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+
+	t := r.step("malloc+hipMalloc", 0, 2*sim.Microsecond)
+	t = r.step("init(host)", t, c.ExecuteParallel(t, initTask(p.HostMem, hx, n), 24))
+
+	// hipMemcpy H2D: functional copy + link timing.
+	copyHostToDevice(p, hx, dx, bytes)
+	t = r.step("hipMemcpy H2D", t, p.HostLinkTransfer(t, bytes, true))
+	r.CopyBytes += bytes
+
+	k := axpyKernel(dx, dy, n)
+	done, err := p.GPU.Dispatch(t, k, n, 256, 0)
+	if err != nil {
+		return nil, err
+	}
+	t = r.step("kernel+sync", t, done)
+
+	copyDeviceToHost(p, dy, hy, bytes)
+	t = r.step("hipMemcpy D2H", t, p.HostLinkTransfer(t, bytes, false))
+	r.CopyBytes += bytes
+
+	r.step("post(host)", t, c.ExecuteParallel(t, postTask(n), 24))
+	r.Verified = sumAndVerify(p.HostMem, hy, n)
+	return r, nil
+}
+
+// RunAPU executes the Fig. 14(c) program on a unified-memory platform: one
+// malloc, init directly in HBM, kernel launch on the same physical pages,
+// synchronize, post — no copies anywhere.
+func RunAPU(p *core.Platform, n int) (*Result, error) {
+	if p.Spec.Memory != config.UnifiedMemory {
+		return nil, fmt.Errorf("progmodel: %s is not a unified-memory platform", p.Spec.Name)
+	}
+	if p.CPU == nil {
+		return nil, fmt.Errorf("progmodel: %s has no CPU for the host side", p.Spec.Name)
+	}
+	r := &Result{Program: "apu-unified", Platform: p.Spec.Name}
+	bytes := int64(n) * 8
+	xAddr, err := p.DeviceMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	yAddr, err := p.DeviceMem.Alloc(bytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	t := r.step("malloc", 0, sim.Microsecond)
+	t = r.step("init", t, p.CPU.ExecuteParallel(t, initTask(p.DeviceMem, xAddr, n), 24))
+	k := axpyKernel(xAddr, yAddr, n)
+	done, err := p.GPU.Dispatch(t, k, n, 256, 0)
+	if err != nil {
+		return nil, err
+	}
+	t = r.step("kernel+sync", t, done)
+	r.step("post", t, p.CPU.ExecuteParallel(t, postTask(n), 24))
+	r.Verified = sumAndVerify(p.DeviceMem, yAddr, n)
+	return r, nil
+}
+
+func copyHostToDevice(p *core.Platform, src, dst, n int64) {
+	copySpaces(p, src, dst, n, true)
+}
+
+func copyDeviceToHost(p *core.Platform, src, dst, n int64) {
+	copySpaces(p, src, dst, n, false)
+}
+
+func copySpaces(p *core.Platform, src, dst, n int64, toDevice bool) {
+	buf := make([]byte, 64*1024)
+	from, to := p.HostMem, p.DeviceMem
+	if !toDevice {
+		from, to = p.DeviceMem, p.HostMem
+	}
+	for off := int64(0); off < n; off += int64(len(buf)) {
+		chunk := int64(len(buf))
+		if off+chunk > n {
+			chunk = n - off
+		}
+		from.Read(src+off, buf[:chunk])
+		to.Write(dst+off, buf[:chunk])
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "fmt"
+
+// Clock converts between cycle counts and simulated time for a component
+// running at a fixed frequency. Chiplets in different clock domains (XCD,
+// CCD, Infinity Fabric, HBM) each carry their own Clock.
+type Clock struct {
+	// FreqHz is the clock frequency in Hertz.
+	FreqHz float64
+	// periodPS is the cached period in picoseconds.
+	periodPS float64
+}
+
+// NewClock returns a clock at the given frequency. It panics on non-positive
+// frequencies: a zero-frequency domain is always a configuration bug.
+func NewClock(freqHz float64) *Clock {
+	if freqHz <= 0 {
+		panic(fmt.Sprintf("sim: invalid clock frequency %v Hz", freqHz))
+	}
+	return &Clock{FreqHz: freqHz, periodPS: 1e12 / freqHz}
+}
+
+// Period returns the duration of one cycle, rounded to the nearest
+// picosecond (minimum 1 ps).
+func (c *Clock) Period() Time {
+	p := Time(c.periodPS + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Cycles converts a cycle count to a duration.
+func (c *Clock) Cycles(n float64) Time {
+	if n <= 0 {
+		return 0
+	}
+	return FromSeconds(n / c.FreqHz)
+}
+
+// CyclesAt reports how many whole cycles elapse in d.
+func (c *Clock) CyclesAt(d Time) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(float64(d) / c.periodPS)
+}
+
+// NextEdge returns the first clock edge at or after t, assuming edge 0 at
+// time 0.
+func (c *Clock) NextEdge(t Time) Time {
+	if t <= 0 {
+		return 0
+	}
+	n := uint64(float64(t) / c.periodPS)
+	edge := Time(float64(n) * c.periodPS)
+	for edge < t {
+		n++
+		edge = Time(float64(n) * c.periodPS)
+	}
+	return edge
+}

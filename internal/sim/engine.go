@@ -1,0 +1,246 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// every timing model in the repository: the Infinity Fabric network, the HBM
+// memory system, the GPU and CPU compute models, and the power governor all
+// schedule work on a shared Engine.
+//
+// Time is measured in integer picoseconds (type Time) so that link
+// serialization delays, cache hit latencies, and multi-GHz clock periods can
+// all be expressed exactly without floating-point drift. Events scheduled for
+// the same instant fire in the order they were scheduled, which makes every
+// simulation in this repository fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+
+	// Forever is a sentinel meaning "no deadline".
+	Forever Time = math.MaxInt64
+)
+
+// Seconds converts t to floating-point seconds, for reporting.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts t to floating-point nanoseconds, for reporting.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds converts t to floating-point microseconds, for reporting.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds converts t to floating-point milliseconds, for reporting.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "∞"
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Time, saturating at
+// Forever for non-finite or out-of-range inputs.
+func FromSeconds(s float64) Time {
+	ps := s * float64(Second)
+	if math.IsNaN(ps) || ps >= float64(math.MaxInt64) {
+		return Forever
+	}
+	if ps <= 0 {
+		return 0
+	}
+	return Time(ps)
+}
+
+// Handler is a callback fired when an event's time arrives.
+type Handler func(now Time)
+
+// event is a scheduled callback in the engine's priority queue.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	fn   Handler
+	dead bool // cancelled
+	idx  int  // heap index
+}
+
+// eventHeap implements container/heap over *event ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct {
+	e   *event
+	seq uint64
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	cancel uint64
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it indicates a causality bug in a component model.
+func (e *Engine) Schedule(at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return EventID{e: ev, seq: e.seq}
+}
+
+// After queues fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks a previously scheduled event dead. It returns false if the
+// event already fired or was already cancelled.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.e == nil || id.e.dead || id.e.idx < 0 || id.e.seq != id.seq {
+		return false
+	}
+	id.e.dead = true
+	e.cancel++
+	return true
+}
+
+// Step executes the single earliest event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time moved backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the next event would occur
+// after the deadline. It returns the number of events fired. Events exactly
+// at the deadline are executed. On return, Now is advanced to the deadline
+// if the queue drained earlier (so back-to-back Run calls compose), except
+// when deadline is Forever, in which case Now rests at the last event time.
+func (e *Engine) Run(deadline Time) uint64 {
+	var n uint64
+	for len(e.queue) > 0 {
+		// Peek; skip dead events.
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		e.Step()
+		n++
+	}
+	if deadline != Forever && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunAll executes events until the queue is fully drained.
+func (e *Engine) RunAll() uint64 { return e.Run(Forever) }
+
+// AdvanceTo moves the clock forward to at without firing events. It panics
+// if events earlier than at are still pending, or if at is in the past.
+func (e *Engine) AdvanceTo(at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", at, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].dead {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) > 0 && e.queue[0].at < at {
+		panic("sim: AdvanceTo would skip pending events")
+	}
+	e.now = at
+}

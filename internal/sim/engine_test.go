@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func(Time) { got = append(got, 3) })
+	e.Schedule(10, func(Time) { got = append(got, 1) })
+	e.Schedule(20, func(Time) { got = append(got, 2) })
+	if n := e.RunAll(); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func(Time) { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(5, func(now Time) {
+		times = append(times, now)
+		e.After(7, func(now Time) { times = append(times, now) })
+	})
+	e.RunAll()
+	if len(times) != 2 || times[0] != 5 || times[1] != 12 {
+		t.Fatalf("times = %v, want [5 12]", times)
+	}
+}
+
+func TestEngineRunDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(10, func(Time) { fired++ })
+	e.Schedule(20, func(Time) { fired++ })
+	e.Schedule(30, func(Time) { fired++ })
+	if n := e.Run(20); n != 2 {
+		t.Fatalf("fired %d by deadline 20, want 2", n)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	e.Run(25)
+	if e.Now() != 25 {
+		t.Errorf("Now = %v after empty run, want 25", e.Now())
+	}
+	e.RunAll()
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	var fired bool
+	id := e.Schedule(10, func(Time) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true twice")
+	}
+	e.RunAll()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func(Time) {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func(Time) {})
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(500)
+	if e.Now() != 500 {
+		t.Fatalf("Now = %v, want 500", e.Now())
+	}
+	e.Schedule(600, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo skipping pending events did not panic")
+		}
+	}()
+	e.AdvanceTo(700)
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+		{Forever, "∞"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1e-9); got != Nanosecond {
+		t.Errorf("FromSeconds(1ns) = %v", got)
+	}
+	if got := FromSeconds(-1); got != 0 {
+		t.Errorf("FromSeconds(-1) = %v, want 0", got)
+	}
+	if got := FromSeconds(math.Inf(1)); got != Forever {
+		t.Errorf("FromSeconds(+inf) = %v, want Forever", got)
+	}
+	if got := FromSeconds(math.NaN()); got != Forever {
+		t.Errorf("FromSeconds(NaN) = %v, want Forever", got)
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock(1e9) // 1 GHz -> 1 ns period
+	if p := c.Period(); p != Nanosecond {
+		t.Errorf("Period = %v, want 1ns", p)
+	}
+	if d := c.Cycles(1000); d != Microsecond {
+		t.Errorf("Cycles(1000) = %v, want 1µs", d)
+	}
+	if n := c.CyclesAt(Microsecond); n != 1000 {
+		t.Errorf("CyclesAt(1µs) = %d, want 1000", n)
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := NewClock(1e9)
+	if e := c.NextEdge(0); e != 0 {
+		t.Errorf("NextEdge(0) = %v", e)
+	}
+	if e := c.NextEdge(1500); e != 2000 {
+		t.Errorf("NextEdge(1.5ns) = %v, want 2ns", e)
+	}
+	if e := c.NextEdge(2000); e != 2000 {
+		t.Errorf("NextEdge(2ns) = %v, want 2ns", e)
+	}
+}
+
+func TestClockInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+// Property: for any batch of event offsets, events fire in nondecreasing
+// time order and every event fires exactly once.
+func TestEngineFiringOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.Schedule(Time(off), func(now Time) { fired = append(fired, now) })
+		}
+		e.RunAll()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RNG.Intn stays within bounds and Float64 within [0,1).
+func TestRNGBoundsProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		bound := int(n)%100 + 1
+		for i := 0; i < 50; i++ {
+			if v := r.Intn(bound); v < 0 || v >= bound {
+				return false
+			}
+			if f := r.Float64(); f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(7)
+	p := r.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func(Time) {})
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,107 @@
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Transient extends the steady-state solver with explicit time stepping,
+// so the §V.E scenario — a workload transitioning between
+// compute-dominated and memory-intensive phases — can be watched as the
+// hotspots migrate from the XCDs to the HBM/USR PHYs and back. The model
+// is a forward-Euler update of the same conduction + sink + source
+// equation, with a per-cell heat capacity setting the thermal time
+// constant.
+type Transient struct {
+	Solver *Solver
+	// TimeConstant is the cell thermal RC (how fast temperature chases
+	// its steady-state value).
+	TimeConstant sim.Time
+	// field is the current temperature state.
+	field *Field
+	now   sim.Time
+}
+
+// NewTransient starts a transient simulation at ambient.
+func NewTransient(s *Solver, timeConstant sim.Time) *Transient {
+	if timeConstant <= 0 {
+		panic("thermal: non-positive time constant")
+	}
+	T := make([][]float64, s.Ny)
+	for j := range T {
+		T[j] = make([]float64, s.Nx)
+		for i := range T[j] {
+			T[j][i] = s.AmbientC
+		}
+	}
+	return &Transient{
+		Solver:       s,
+		TimeConstant: timeConstant,
+		field:        &Field{Nx: s.Nx, Ny: s.Ny, T: T},
+	}
+}
+
+// Now reports the simulation time.
+func (tr *Transient) Now() sim.Time { return tr.now }
+
+// Field returns the current temperature state.
+func (tr *Transient) Field() *Field { return tr.field }
+
+// Step advances the field by dt under the given power map: each cell
+// relaxes toward its local quasi-steady target (conduction-averaged
+// neighbors + source) with the configured time constant.
+func (tr *Transient) Step(powerW [][]float64, dt sim.Time) error {
+	s := tr.Solver
+	if len(powerW) != s.Ny || len(powerW[0]) != s.Nx {
+		return fmt.Errorf("thermal: power map %dx%d does not match grid %dx%d",
+			len(powerW[0]), len(powerW), s.Nx, s.Ny)
+	}
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt")
+	}
+	alpha := float64(dt) / float64(tr.TimeConstant)
+	if alpha > 1 {
+		alpha = 1 // unconditionally stable clamp
+	}
+	T := tr.field.T
+	next := make([][]float64, s.Ny)
+	for j := 0; j < s.Ny; j++ {
+		next[j] = make([]float64, s.Nx)
+		for i := 0; i < s.Nx; i++ {
+			var nsum float64
+			var n float64
+			if i > 0 {
+				nsum += T[j][i-1]
+				n++
+			}
+			if i < s.Nx-1 {
+				nsum += T[j][i+1]
+				n++
+			}
+			if j > 0 {
+				nsum += T[j-1][i]
+				n++
+			}
+			if j < s.Ny-1 {
+				nsum += T[j+1][i]
+				n++
+			}
+			target := (s.Spread*(nsum/n) + s.AmbientC + s.RiseScale*powerW[j][i]) / (s.Spread + 1)
+			next[j][i] = T[j][i] + alpha*(target-T[j][i])
+		}
+	}
+	tr.field.T = next
+	tr.now += dt
+	return nil
+}
+
+// Run advances the field through duration with the given step size.
+func (tr *Transient) Run(powerW [][]float64, duration, dt sim.Time) error {
+	for elapsed := sim.Time(0); elapsed < duration; elapsed += dt {
+		if err := tr.Step(powerW, dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func TestQuadAPUNode(t *testing.T) {
+	n, err := QuadAPUNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsFullyConnected() {
+		t.Error("4xMI300A node not fully connected (Fig. 18a)")
+	}
+	// Two x16 links between every pair: 128 GB/s per direction.
+	if bw := n.PairBWPerDir("APU0", "APU3"); bw != 128e9 {
+		t.Errorf("pair BW = %g, want 128e9", bw)
+	}
+	// Six of eight links used per socket; two remain for NIC/storage.
+	for _, s := range n.Sockets {
+		if s.UsedFor(UseIF) != 6 {
+			t.Errorf("%s uses %d IF links, want 6", s.Name, s.UsedFor(UseIF))
+		}
+		if s.FreeLinks() != 2 {
+			t.Errorf("%s has %d free links, want 2", s.Name, s.FreeLinks())
+		}
+	}
+}
+
+func TestOctoAcceleratorNode(t *testing.T) {
+	n, err := OctoAcceleratorNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsFullyConnected() {
+		t.Error("8xMI300X node not fully connected (Fig. 18b)")
+	}
+	for _, s := range n.Sockets {
+		if s.UsedFor(UseIF) != 7 {
+			t.Errorf("%s uses %d IF links, want 7", s.Name, s.UsedFor(UseIF))
+		}
+		if s.UsedFor(UsePCIe) != 1 {
+			t.Errorf("%s uses %d PCIe links, want 1 (host)", s.Name, s.UsedFor(UsePCIe))
+		}
+		if s.FreeLinks() != 0 {
+			t.Errorf("%s has %d free links, want 0", s.Name, s.FreeLinks())
+		}
+	}
+}
+
+func TestLinkBudgetEnforced(t *testing.T) {
+	n := &Node{Name: "over"}
+	a := NewSocket("A", config.MI300A())
+	b := NewSocket("B", config.MI300A())
+	n.Sockets = []*Socket{a, b}
+	if err := n.Connect(a, b, 8); err != nil {
+		t.Fatalf("8 links should fit: %v", err)
+	}
+	if err := n.Connect(a, b, 1); err == nil {
+		t.Error("ninth link accepted; sockets only have eight x16 links")
+	}
+}
+
+func TestSocketIOBandwidthMatchesPaper(t *testing.T) {
+	// §VIII: 128 GB/s bidirectional per x16 link, 1,024 GB/s per socket.
+	s := NewSocket("s", config.MI300A())
+	perLink := 2 * x16BWPerDir(s.Spec)
+	if perLink != 128e9 {
+		t.Errorf("x16 bidir BW = %g, want 128 GB/s", perLink)
+	}
+	if total := float64(len(s.linkUses)) * perLink; total != 1024e9 {
+		t.Errorf("socket IO = %g, want 1024 GB/s", total)
+	}
+}
+
+func TestBisectionBandwidth(t *testing.T) {
+	quad, _ := QuadAPUNode()
+	// Split {APU0,APU1} vs {APU2,APU3}: 4 pairs cross × 2 links × 64 GB/s.
+	if bw := quad.BisectionBWPerDir(); bw != 512e9 {
+		t.Errorf("quad bisection = %g, want 512e9", bw)
+	}
+	octo, _ := OctoAcceleratorNode()
+	// 16 crossing pairs × 1 link × 64 GB/s.
+	if bw := octo.BisectionBWPerDir(); bw != 1024e9 {
+		t.Errorf("octo bisection = %g, want 1024e9", bw)
+	}
+}
+
+func TestBuildNetworkRouting(t *testing.T) {
+	n, _ := QuadAPUNode()
+	net := n.BuildNetwork()
+	a := net.NodeByName("APU0")
+	d := net.NodeByName("APU3")
+	if a == nil || d == nil {
+		t.Fatal("sockets missing from network")
+	}
+	hops, err := net.Hops(a.ID, d.ID)
+	if err != nil || hops != 1 {
+		t.Errorf("APU0->APU3 hops = %d (%v), want 1 (fully connected)", hops, err)
+	}
+	// Direct load-store access across sockets: a 1 MB transfer at IF
+	// speeds, no host involvement.
+	end, err := net.Transfer(0, a.ID, d.ID, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialization on one 64 GB/s link ≈ 16 µs.
+	if ms := end.Microseconds(); ms < 8 || ms > 40 {
+		t.Errorf("1 MB cross-socket = %v µs, want ~16", ms)
+	}
+}
+
+func TestOctoNetworkIncludesHost(t *testing.T) {
+	n, _ := OctoAcceleratorNode()
+	net := n.BuildNetwork()
+	host := net.NodeByName("host")
+	if host == nil {
+		t.Fatal("host missing")
+	}
+	g0 := net.NodeByName("GPU0")
+	hops, err := net.Hops(g0.ID, host.ID)
+	if err != nil || hops != 1 {
+		t.Errorf("GPU0->host hops = %d (%v)", hops, err)
+	}
+	// All-to-all among 8 GPUs stays off the host links.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			a := net.NodeByName("GPU" + string(rune('0'+i)))
+			b := net.NodeByName("GPU" + string(rune('0'+j)))
+			if h, _ := net.Hops(a.ID, b.ID); h != 1 {
+				t.Fatalf("GPU%d->GPU%d = %d hops", i, j, h)
+			}
+		}
+	}
+}
+
+func TestAllToAllSaturation(t *testing.T) {
+	// Concurrent all-to-all on the quad node: aggregate achieved BW must
+	// exceed a single link but stay below the full-socket budget.
+	n, _ := QuadAPUNode()
+	net := n.BuildNetwork()
+	const bytes = 64 << 20
+	var end sim.Time
+	count := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			a := net.NodeByName("APU" + string(rune('0'+i)))
+			b := net.NodeByName("APU" + string(rune('0'+j)))
+			done, err := net.Transfer(0, a.ID, b.ID, bytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done > end {
+				end = done
+			}
+			count++
+		}
+	}
+	total := float64(count) * bytes
+	achieved := total / end.Seconds()
+	if achieved < 500e9 {
+		t.Errorf("all-to-all achieved %.0f GB/s, want > 500", achieved/1e9)
+	}
+	if achieved > 4*1024e9 {
+		t.Errorf("all-to-all achieved %.0f GB/s, exceeds socket budgets", achieved/1e9)
+	}
+}
+
+func TestFrontierNode(t *testing.T) {
+	n, err := FrontierNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Sockets) != 4 {
+		t.Fatalf("sockets = %d, want 4 (Fig. 2)", len(n.Sockets))
+	}
+	// A ring is deliberately NOT fully connected — unlike the MI300A
+	// node that succeeded it.
+	if n.IsFullyConnected() {
+		t.Error("Frontier GPU ring should not be fully connected")
+	}
+	// Every GPU has a coherent IF link to the CPU (not PCIe).
+	var hostIF int
+	for _, c := range n.Connections {
+		if c.B == "host" {
+			if c.Use != UseIF {
+				t.Errorf("host link is %s, want coherent IF (§II.B)", c.Use)
+			}
+			hostIF++
+		}
+	}
+	if hostIF != 4 {
+		t.Errorf("host IF links = %d, want 4", hostIF)
+	}
+}
+
+func TestFrontierCPUGPUBandwidthGap(t *testing.T) {
+	// The architectural gap the MI300A closes: Frontier's CPU reaches a
+	// GPU's HBM at IF-link speed (36 GB/s/dir); MI300A's CCDs reach HBM
+	// at package bandwidth.
+	n, err := FrontierNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := n.BuildNetwork()
+	host := net.NodeByName("host")
+	gpu := net.NodeByName("MI250X-0")
+	bw, err := net.PathBandwidth(host.ID, gpu.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 36e9 {
+		t.Errorf("CPU->GPU BW = %g, want 36 GB/s", bw)
+	}
+	apu := config.MI300A()
+	if ratio := apu.PeakMemoryBW() / bw; ratio < 100 {
+		t.Errorf("MI300A closes a %.0fx CPU-memory bandwidth gap, expected >100x", ratio)
+	}
+}
+
+func TestFrontierRingHopCount(t *testing.T) {
+	n, _ := FrontierNode()
+	net := n.BuildNetwork()
+	a := net.NodeByName("MI250X-0")
+	c := net.NodeByName("MI250X-2")
+	hops, err := net.Hops(a.ID, c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 2 {
+		t.Errorf("opposite ring GPUs = %d hops, want 2", hops)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpanAndOrdering(t *testing.T) {
+	tr := New()
+	tr.Span("late", "step", 0, 0, 10*sim.Microsecond, 20*sim.Microsecond, nil)
+	tr.Span("early", "step", 0, 0, 0, 5*sim.Microsecond, nil)
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Name != "early" {
+		t.Errorf("events not sorted: %v", ev)
+	}
+	if ev[1].DurUS != 10 {
+		t.Errorf("duration = %v µs, want 10", ev[1].DurUS)
+	}
+}
+
+func TestSpanSwapsReversedInterval(t *testing.T) {
+	tr := New()
+	tr.Span("rev", "", 0, 0, 30*sim.Microsecond, 10*sim.Microsecond, nil)
+	if err := tr.Validate(); err != nil {
+		t.Errorf("reversed interval produced invalid event: %v", err)
+	}
+	if tr.Events()[0].DurUS != 20 {
+		t.Errorf("duration = %v", tr.Events()[0].DurUS)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tr := New()
+	tr.NameProcess(1, "MI300A")
+	tr.NameThread(1, 3, "XCD3")
+	tr.Span("kernel", "gpu", 1, 3, sim.Microsecond, 4*sim.Microsecond,
+		map[string]string{"workgroups": "456"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 metadata + 1 event.
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(decoded))
+	}
+	out := buf.String()
+	for _, want := range []string{"process_name", "thread_name", "MI300A", "XCD3", "kernel", "workgroups"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestValidateCatchesBadPhase(t *testing.T) {
+	tr := New()
+	tr.events = append(tr.events, Event{Name: "bad", Phase: "B"})
+	if tr.Validate() == nil {
+		t.Error("bad phase not caught")
+	}
+}
+
+func TestLen(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("new trace not empty")
+	}
+	tr.Span("a", "", 0, 0, 0, sim.Microsecond, nil)
+	if tr.Len() != 1 {
+		t.Error("Len wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package apusim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// RooflinePoint is one arithmetic-intensity sample.
+type RooflinePoint struct {
+	// Intensity is flops per HBM byte.
+	Intensity float64
+	// AttainableFlops is the classic roofline bound min(peak, AI × BW).
+	AttainableFlops float64
+	// MeasuredFlops is what the phase engine actually delivers for a
+	// synthetic phase at this intensity (includes launch overhead,
+	// efficiency derates, and the power governor).
+	MeasuredFlops float64
+	// Bound is "compute" or "memory".
+	Bound string
+}
+
+// RooflineSweep samples the platform's roofline for the given engine
+// class and data type across intensities (flops/byte). totalBytes sizes
+// each synthetic phase.
+func RooflineSweep(p *Platform, class config.EngineClass, dtype config.DataType, intensities []float64, totalBytes float64) []RooflinePoint {
+	peak := p.Spec.PeakFlops(class, dtype)
+	bw := p.EffectiveMemBW(0)
+	out := make([]RooflinePoint, 0, len(intensities))
+	for _, ai := range intensities {
+		if ai <= 0 {
+			continue
+		}
+		pt := RooflinePoint{Intensity: ai}
+		pt.AttainableFlops = ai * bw
+		pt.Bound = "memory"
+		if pt.AttainableFlops > peak {
+			pt.AttainableFlops = peak
+			pt.Bound = "compute"
+		}
+		flops := ai * totalBytes
+		res := p.RunPhase(0, core.Phase{
+			Name:     fmt.Sprintf("ai-%.3g", ai),
+			GPUFlops: flops, Class: class, Dtype: dtype,
+			GPUBytes: totalBytes,
+		})
+		if secs := res.Total.Seconds(); secs > 0 {
+			pt.MeasuredFlops = flops / secs
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// RidgePoint reports the arithmetic intensity where the platform
+// transitions from memory- to compute-bound for the given configuration.
+func RidgePoint(p *Platform, class config.EngineClass, dtype config.DataType) float64 {
+	bw := p.EffectiveMemBW(0)
+	if bw <= 0 {
+		return 0
+	}
+	return p.Spec.PeakFlops(class, dtype) / bw
+}
+
+// WriteRooflineCSV sweeps a logarithmic intensity range and writes CSV
+// (intensity, attainable, measured, bound) suitable for plotting.
+func WriteRooflineCSV(w io.Writer, p *Platform, class config.EngineClass, dtype config.DataType) error {
+	var intensities []float64
+	for ai := 0.125; ai <= 4096; ai *= 2 {
+		intensities = append(intensities, ai)
+	}
+	pts := RooflineSweep(p, class, dtype, intensities, 4e9)
+	if _, err := fmt.Fprintln(w, "intensity_flops_per_byte,attainable_flops,measured_flops,bound"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%g,%g,%g,%s\n",
+			pt.Intensity, pt.AttainableFlops, pt.MeasuredFlops, pt.Bound); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package apusim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRooflineSweepShape(t *testing.T) {
+	p, err := NewMI300A()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := RooflineSweep(p, Matrix, FP16, []float64{0.25, 1, 4, 16, 64, 256, 1024}, 1e9)
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Attainable performance is nondecreasing in intensity and capped at
+	// peak.
+	peak := p.Spec.PeakFlops(Matrix, FP16)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AttainableFlops < pts[i-1].AttainableFlops {
+			t.Error("attainable not monotonic")
+		}
+		if pts[i].AttainableFlops > peak {
+			t.Error("attainable exceeds peak")
+		}
+	}
+	// Low intensity is memory-bound, high is compute-bound.
+	if pts[0].Bound != "memory" || pts[len(pts)-1].Bound != "compute" {
+		t.Errorf("bounds: %s..%s", pts[0].Bound, pts[len(pts)-1].Bound)
+	}
+	// Measured tracks attainable within the global efficiency derates.
+	for _, pt := range pts {
+		if pt.MeasuredFlops <= 0 {
+			t.Fatalf("ai=%g measured nothing", pt.Intensity)
+		}
+		frac := pt.MeasuredFlops / pt.AttainableFlops
+		if frac < 0.4 || frac > 1.05 {
+			t.Errorf("ai=%g measured/attainable = %.2f, want within derate band", pt.Intensity, frac)
+		}
+	}
+}
+
+func TestRidgePointOrdering(t *testing.T) {
+	a, _ := NewMI300A()
+	m, _ := NewMI250X()
+	// MI300A's FP16 ridge sits far to the right of MI250X's: compute
+	// grew faster than bandwidth between generations.
+	ra := RidgePoint(a, Matrix, FP16)
+	rm := RidgePoint(m, Matrix, FP16)
+	if ra <= rm {
+		t.Errorf("MI300A ridge %.0f should exceed MI250X %.0f", ra, rm)
+	}
+	// FP64 vector ridge is far left of FP16 matrix ridge.
+	if RidgePoint(a, Vector, FP64) >= ra {
+		t.Error("FP64 ridge should be left of FP16 ridge")
+	}
+}
+
+func TestWriteRooflineCSV(t *testing.T) {
+	p, _ := NewMI300A()
+	var buf bytes.Buffer
+	if err := WriteRooflineCSV(&buf, p, Matrix, FP16); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("CSV rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "intensity_flops_per_byte,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "compute") || !strings.Contains(buf.String(), "memory") {
+		t.Error("CSV missing bound labels")
+	}
+}

@@ -1,0 +1,67 @@
+package apusim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// WriteFig14Trace runs the Fig. 14 program trio and writes their step
+// timelines as a Chrome trace (load into chrome://tracing or Perfetto):
+// one process track per program, one span per step. It returns the
+// results for further inspection.
+func WriteFig14Trace(w io.Writer, n int) (*Fig14Result, error) {
+	r, _, err := ExperimentFig14(n)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New()
+	for pid, prog := range []*ProgramResult{r.CPUOnly, r.Discrete, r.APU} {
+		tr.NameProcess(pid, fmt.Sprintf("%s (%s)", prog.Program, prog.Platform))
+		for _, s := range prog.Steps {
+			tr.Span(s.Name, "step", pid, 0, s.Start, s.End, map[string]string{
+				"program": prog.Program,
+			})
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return r, tr.WriteJSON(w)
+}
+
+// WriteDispatchTrace runs a multi-XCD dispatch and writes per-XCD busy
+// spans, visualizing the Fig. 13 cooperative flow.
+func WriteDispatchTrace(w io.Writer) (*Fig13Result, error) {
+	p, err := NewMI300A()
+	if err != nil {
+		return nil, err
+	}
+	k := &KernelSpec{
+		Name: "fig13", Class: Vector, Dtype: FP32,
+		FlopsPerItem: 1000, BytesReadPerItem: 8,
+	}
+	const items = 6 * 38 * 2 * 256
+	done, err := p.GPU.Dispatch(0, k, items, 256, 0)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New()
+	tr.NameProcess(0, "MI300A SPX partition")
+	r := &Fig13Result{XCDs: len(p.XCDs), Workgroups: items / 256, Completion: done}
+	for i, x := range p.XCDs {
+		st := x.Stats()
+		r.PerXCD = append(r.PerXCD, st.Workgroups)
+		r.SyncMessages += st.SyncMessages
+		r.PacketsDecoded += st.PacketsDecoded
+		tr.NameThread(0, i, fmt.Sprintf("XCD%d", i))
+		tr.Span(k.Name, "dispatch", 0, i, 0, done, map[string]string{
+			"workgroups": fmt.Sprint(st.Workgroups),
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return r, tr.WriteJSON(w)
+}
