@@ -14,9 +14,37 @@ import (
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+// BenchmarkExperimentSuite runs every experiment in the shared registry
+// as a sub-benchmark, so `go test -bench ExperimentSuite` regenerates
+// the whole evaluation through the same registration table cmd/repro
+// uses — no private experiment list to drift out of sync.
+func BenchmarkExperimentSuite(b *testing.B) {
+	for _, e := range Experiments().Experiments() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			var out string
+			for i := 0; i < b.N; i++ {
+				suite, err := Experiments().RunSuite(runner.Options{
+					Parallel: 1, IDs: []string{e.ID},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := suite.Results[0]
+				if res.Failed() {
+					b.Fatalf("%s: %v", res.Status, res.Err)
+				}
+				out = res.Output
+			}
+			b.ReportMetric(float64(len(out)), "output-bytes")
+		})
+	}
+}
 
 // BenchmarkTable1_PeakRates regenerates Table 1 and additionally executes
 // a one-CU microkernel per (arch, dtype) pair on the detailed GPU model

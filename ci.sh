@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's verification gate.
+#
+# Runs formatting, static analysis, build, and the full test suite under
+# the race detector (the runner executes experiments on a worker pool,
+# so -race is load-bearing, not decoration).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci.sh: all checks passed"

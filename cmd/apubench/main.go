@@ -8,6 +8,8 @@
 //	apubench -platform mi250x -workload openfoam -iters 20
 //	apubench -platform mi300x -workload llm
 //	apubench -workload gemm -dtype fp8 -sparse
+//	apubench -exp fig20            # run one registry experiment
+//	apubench -list-experiments     # enumerate the shared registry
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	apusim "repro"
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -28,7 +31,31 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations / steps")
 	dtype := flag.String("dtype", "fp16", "GEMM data type: fp64 fp32 tf32 fp16 bf16 fp8 int8")
 	sparse := flag.Bool("sparse", false, "GEMM: use 4:2 structured sparsity")
+	exp := flag.String("exp", "", "run one experiment from the shared registry (see -list-experiments)")
+	listExp := flag.Bool("list-experiments", false, "list the shared experiment registry and exit")
 	flag.Parse()
+
+	if *listExp {
+		fmt.Print(apusim.Experiments().List())
+		return
+	}
+	if *exp != "" {
+		suite, err := apusim.Experiments().RunSuite(runner.Options{
+			Parallel: 1, IDs: []string{*exp},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apubench: %v (use -list-experiments)\n", err)
+			os.Exit(2)
+		}
+		if err := suite.WriteOutputs(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "apubench:", err)
+			os.Exit(1)
+		}
+		if !suite.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	p, err := makePlatform(*platName)
 	if err != nil {

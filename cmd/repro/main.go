@@ -1,205 +1,41 @@
 // Command repro regenerates the paper's evaluation: every table and
 // figure, printed as text tables and ASCII charts.
 //
+// Experiments come from the shared registry (apusim.Experiments) and run
+// on the internal/runner parallel executor: each experiment gets its own
+// goroutine, its own simulation engine, panic isolation, and a
+// wall-clock deadline. Output is printed in registration order, so it is
+// byte-identical for any -parallel degree.
+//
 // Usage:
 //
-//	repro              # run the full evaluation (E1-E14)
-//	repro -exp fig20   # run a single experiment
-//	repro -list        # list experiment ids
+//	repro                      # run the full evaluation in parallel
+//	repro -parallel 1          # ... sequentially (same output bytes)
+//	repro -exp fig20           # run a single experiment
+//	repro -list                # list experiment ids
+//	repro -manifest run.json   # also write a structured run manifest
+//	repro -summary             # print the suite summary table to stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"time"
 
 	apusim "repro"
+	"repro/internal/runner"
 )
-
-var experiments = []struct {
-	id   string
-	desc string
-	run  func() (string, error)
-}{
-	{"table1", "Peak ops/clock/CU, CDNA 2 vs CDNA 3", func() (string, error) {
-		return apusim.ExperimentTable1().String(), nil
-	}},
-	{"fig7", "IOD interface bandwidths", func() (string, error) {
-		_, t, err := apusim.ExperimentFig7()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"fig12a", "Power distribution per workload scenario", func() (string, error) {
-		_, t := apusim.ExperimentFig12a()
-		return t.String(), nil
-	}},
-	{"fig12bc", "Thermal maps, GPU- vs memory-intensive", func() (string, error) {
-		ts, err := apusim.ExperimentFig12bc(96, 60)
-		if err != nil {
-			return "", err
-		}
-		var b strings.Builder
-		for _, t := range ts {
-			fmt.Fprintf(&b, "%s: peak %.1f°C at %s (XCD mean %.1f°C, USR mean %.1f°C)\n",
-				t.Name, t.PeakC, t.HotspotComponent, t.XCDMeanC, t.USRMeanC)
-		}
-		b.WriteString("(render the maps with cmd/thermalmap)\n")
-		return b.String(), nil
-	}},
-	{"fig13", "Cooperative multi-XCD dispatch flow", func() (string, error) {
-		r, err := apusim.ExperimentFig13()
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("1 AQL packet: %d ACE decodes, per-XCD workgroups %v, %d sync messages, completed at %v\n",
-			r.PacketsDecoded, r.PerXCD, r.SyncMessages, r.Completion), nil
-	}},
-	{"fig14", "CPU-only vs discrete vs APU programs", func() (string, error) {
-		_, t, err := apusim.ExperimentFig14(1 << 22)
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"fig15", "Fine-grained GPU/CPU overlap", func() (string, error) {
-		r, err := apusim.ExperimentFig15(1<<20, 64)
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("coarse %v, fine-grained %v, speedup %.2fx (verified=%v)\n",
-			r.CoarseTotal, r.FineTotal, r.Speedup, r.Verified), nil
-	}},
-	{"fig17", "Partitioning modes", func() (string, error) {
-		t, err := apusim.ExperimentFig17()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"fig18", "Node topologies", func() (string, error) {
-		_, t, err := apusim.ExperimentFig18()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"fig19", "Generational uplift", func() (string, error) {
-		_, t := apusim.ExperimentFig19()
-		bw, err := apusim.MeasuredBandwidths()
-		if err != nil {
-			return "", err
-		}
-		return t.String() + bw.String(), nil
-	}},
-	{"fig20", "HPC workload speedups MI300A vs MI250X", func() (string, error) {
-		_, s, err := apusim.ExperimentFig20()
-		if err != nil {
-			return "", err
-		}
-		return s.BarChart(40), nil
-	}},
-	{"fig21", "Llama-2 70B inference latency", func() (string, error) {
-		_, t, err := apusim.ExperimentFig21()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"ehpv4", "§III EHPv4 shortcoming ablation", func() (string, error) {
-		_, t, err := apusim.ExperimentEHPv4()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"tsv", "Figs. 8-10 TSV/mirroring validation", func() (string, error) {
-		r, err := apusim.ExperimentTSVAlignment()
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("signal TSVs %d (%d redundant), P/G TSVs %d, %d permutations aligned, MI300A=%v MI300X=%v\n",
-			r.SignalTSVs, r.RedundantTSVs, r.PGTSVs, r.Permutations, r.MI300AValid, r.MI300XValid), nil
-	}},
-	{"fig11", "Hybrid bond interface: V-Cache vs MI300 RDL landing", func() (string, error) {
-		_, t, err := apusim.ExperimentBondInterface()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"shim", "§VI.B shim library CPU/GPU dispatch crossover", func() (string, error) {
-		_, t, err := apusim.ExperimentShim()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"managed", "Page-migration pseudo-unified memory vs APU", func() (string, error) {
-		_, t, err := apusim.ExperimentManagedMemory(1 << 22)
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"policy", "§VI.A workgroup scheduling policy ablation", func() (string, error) {
-		_, t, err := apusim.ExperimentPolicyAblation()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"powershift", "§V.E dynamic vs static power budget ablation", func() (string, error) {
-		_, t := apusim.ExperimentPowerShiftAblation()
-		return t.String(), nil
-	}},
-	{"scopes", "§IV.D cross-socket GPU coherence scopes", func() (string, error) {
-		_, t, err := apusim.ExperimentCoherenceScopes()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"scale", "Strong scaling across the Fig. 18a node", func() (string, error) {
-		_, t, err := apusim.ExperimentStrongScale()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"isolation", "NPS1 vs NPS4 tenant isolation", func() (string, error) {
-		_, t, err := apusim.ExperimentTenantIsolation()
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}},
-	{"efficiency", "Perf/W: MI300A vs MI250X on the Fig. 20 suite", func() (string, error) {
-		_, t, err := apusim.ExperimentEfficiency()
-		if err != nil {
-			return "", err
-		}
-		te, err := apusim.ExperimentEnergyPerPhase()
-		if err != nil {
-			return "", err
-		}
-		return t.String() + te.String(), nil
-	}},
-	{"prefetch", "Infinity Cache stream prefetcher ablation", func() (string, error) {
-		r, err := apusim.ExperimentPrefetchAblation()
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("sequential-stream hit rate: prefetch on %.2f, off %.2f\n",
-			r.HitRateOn, r.HitRateOff), nil
-	}},
-}
 
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by id (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size (1 = sequential)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-experiment wall-clock deadline (0 = none)")
+	manifest := flag.String("manifest", "", "write a JSON run manifest to this file")
+	summary := flag.Bool("summary", false, "print the suite summary table to stderr")
+	injectPanic := flag.Bool("inject-panic", false, "register a crashing experiment (tests panic isolation)")
 	tracePrefix := flag.String("trace", "", "write Chrome traces to <prefix>-fig14.json and <prefix>-dispatch.json")
 	flag.Parse()
 
@@ -210,30 +46,69 @@ func main() {
 		}
 	}
 
+	reg := apusim.Experiments()
+	if *injectPanic {
+		reg = reg.Clone()
+		reg.MustRegister(runner.Experiment{
+			ID: "_panic", Desc: "injected crash (-inject-panic)",
+			Run: func(*runner.Ctx) (string, error) {
+				panic("injected by -inject-panic")
+			},
+		})
+	}
+
 	if *list {
-		for _, e := range experiments {
-			fmt.Printf("%-8s %s\n", e.id, e.desc)
-		}
+		fmt.Print(reg.List())
 		return
 	}
-	ran := false
-	for _, e := range experiments {
-		if *exp != "" && e.id != *exp {
-			continue
-		}
-		ran = true
-		fmt.Printf("\n== %s: %s ==\n", e.id, e.desc)
-		out, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.id, err)
-			os.Exit(1)
-		}
-		fmt.Print(out)
+
+	opts := runner.Options{
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		OnResult: func(r runner.Result) {
+			if err := runner.WriteResult(os.Stdout, r); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+		},
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (use -list)\n", *exp)
+	if *exp != "" {
+		opts.IDs = []string{*exp}
+	}
+
+	suite, err := reg.RunSuite(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v (use -list)\n", err)
 		os.Exit(2)
 	}
+
+	if *summary {
+		fmt.Fprint(os.Stderr, suite.SummaryTable().String())
+	}
+	if *manifest != "" {
+		if err := writeManifest(*manifest, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: manifest: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed := suite.Failed(); len(failed) > 0 {
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "repro: %s failed (%s): %v\n", r.ID, r.Status, r.Err)
+		}
+		os.Exit(1)
+	}
+}
+
+func writeManifest(path string, suite *runner.SuiteResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runner.BuildManifest(suite).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTraces exports the Fig. 14 program timelines and a Fig. 13

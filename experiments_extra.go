@@ -11,6 +11,7 @@ import (
 	"repro/internal/multisocket"
 	"repro/internal/power"
 	"repro/internal/progmodel"
+	"repro/internal/runner"
 	"repro/internal/shim"
 	"repro/internal/sim"
 )
@@ -276,4 +277,63 @@ func ExperimentCoherenceScopes() (*CoherenceScopes, *metrics.Table, error) {
 	t.AddRow("crossover size", metrics.FormatBytes(uint64(r.Crossover)), "")
 	t.AddRow("probe bandwidth tax", fmt.Sprintf("%.0f%%", r.ProbeTax*100), "")
 	return r, t, nil
+}
+
+// registerExtraExperiments registers this file's design-choice ablation
+// experiments.
+func registerExtraExperiments(r *runner.Registry) {
+	r.MustRegister(runner.Experiment{ID: "fig11", Desc: "Hybrid bond interface: V-Cache vs MI300 RDL landing",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentBondInterface()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "shim", Desc: "§VI.B shim library CPU/GPU dispatch crossover",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentShim()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "managed", Desc: "Page-migration pseudo-unified memory vs APU",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentManagedMemory(1 << 22)
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "policy", Desc: "§VI.A workgroup scheduling policy ablation",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentPolicyAblation()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "powershift", Desc: "§V.E dynamic vs static power budget ablation",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t := ExperimentPowerShiftAblation()
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "scopes", Desc: "§IV.D cross-socket GPU coherence scopes",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentCoherenceScopes()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "prefetch", Desc: "Infinity Cache stream prefetcher ablation",
+		Run: func(*runner.Ctx) (string, error) {
+			res, err := ExperimentPrefetchAblation()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("sequential-stream hit rate: prefetch on %.2f, off %.2f\n",
+				res.HitRateOn, res.HitRateOff), nil
+		}})
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/scale"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -182,4 +183,38 @@ func ExperimentStrongScale() ([]ScalePoint, *metrics.Table, error) {
 			fmt.Sprintf("%.2fx", p.Speedup), fmt.Sprintf("%.0f%%", p.Efficiency*100))
 	}
 	return out, t, nil
+}
+
+// registerQoSExperiments registers this file's deployment-quality
+// experiments: scaling, isolation, and energy efficiency.
+func registerQoSExperiments(r *runner.Registry) {
+	r.MustRegister(runner.Experiment{ID: "scale", Desc: "Strong scaling across the Fig. 18a node",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentStrongScale()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "isolation", Desc: "NPS1 vs NPS4 tenant isolation",
+		Run: func(*runner.Ctx) (string, error) {
+			_, t, err := ExperimentTenantIsolation()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}})
+	r.MustRegister(runner.Experiment{ID: "efficiency", Desc: "Perf/W: MI300A vs MI250X on the Fig. 20 suite",
+		Run: func(ctx *runner.Ctx) (string, error) {
+			_, t, err := ExperimentEfficiency()
+			if err != nil {
+				return "", err
+			}
+			ctx.Milestone("perf-per-watt")
+			te, err := ExperimentEnergyPerPhase()
+			if err != nil {
+				return "", err
+			}
+			return t.String() + te.String(), nil
+		}})
 }

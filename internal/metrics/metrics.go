@@ -73,8 +73,12 @@ func (d *Distribution) Mean() float64 {
 	return d.Sum() / float64(len(d.samples))
 }
 
-// Min reports the smallest sample, or +Inf with no samples.
+// Min reports the smallest sample, or 0 with no samples (matching Mean
+// and StdDev, so empty distributions never leak infinities into tables).
 func (d *Distribution) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
 	m := math.Inf(1)
 	for _, v := range d.samples {
 		if v < m {
@@ -84,8 +88,11 @@ func (d *Distribution) Min() float64 {
 	return m
 }
 
-// Max reports the largest sample, or -Inf with no samples.
+// Max reports the largest sample, or 0 with no samples.
 func (d *Distribution) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
 	m := math.Inf(-1)
 	for _, v := range d.samples {
 		if v > m {
@@ -225,8 +232,18 @@ func (t *Table) String() string {
 }
 
 // FormatFloat renders a float compactly: integers without decimals, small
-// values with enough precision to distinguish.
+// values with enough precision to distinguish. Non-finite values are
+// rendered as "n/a" (NaN) and "inf"/"-inf", never raw, so a missing
+// statistic cannot corrupt a table's alignment.
 func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -52,8 +52,38 @@ func TestDistributionEmpty(t *testing.T) {
 	if d.Mean() != 0 || d.Median() != 0 || d.StdDev() != 0 {
 		t.Error("empty distribution stats should be zero")
 	}
-	if !math.IsInf(d.Min(), 1) || !math.IsInf(d.Max(), -1) {
-		t.Error("empty Min/Max should be infinities")
+	if d.Min() != 0 || d.Max() != 0 {
+		t.Errorf("empty Min/Max = %v/%v, want 0/0 (no infinities in tables)",
+			d.Min(), d.Max())
+	}
+}
+
+func TestFormatFloatNonFinite(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "n/a"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{1.5, "1.50"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	// Non-finite values must flow through AddRowf without corrupting the
+	// rendered table.
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRowf(math.NaN(), math.Inf(1))
+	out := tbl.String()
+	if !strings.Contains(out, "n/a") || !strings.Contains(out, "inf") {
+		t.Errorf("table rendering of non-finite values:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "+Inf") {
+		t.Errorf("raw Go float formatting leaked into table:\n%s", out)
 	}
 }
 

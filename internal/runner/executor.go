@@ -1,0 +1,249 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Status classifies how an experiment run ended.
+type Status string
+
+// Run statuses.
+const (
+	StatusOK      Status = "ok"
+	StatusError   Status = "error"
+	StatusPanic   Status = "panic"
+	StatusTimeout Status = "timeout"
+)
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	ID     string
+	Desc   string
+	Status Status
+	// Output is the experiment's printable output (empty on failure).
+	Output string
+	// Err describes the failure for error/panic/timeout statuses.
+	Err error
+	// Stack is the panic stack trace, when Status is StatusPanic.
+	Stack string
+	// Wall is the run's wall-clock duration (the deadline, on timeout).
+	Wall time.Duration
+	// EventsFired and EventsPending are the run engine's counters at the
+	// end of the run. A clean run drains its queue (EventsPending == 0);
+	// a failed run leaves its completion sentinel queued. Both are zero
+	// on timeout: the abandoned run still owns its engine.
+	EventsFired   uint64
+	EventsPending int
+	// Milestones are the progress markers the run recorded.
+	Milestones []string
+}
+
+// Failed reports whether the run ended abnormally.
+func (r Result) Failed() bool { return r.Status != StatusOK }
+
+// Options configures a suite run.
+type Options struct {
+	// Parallel is the worker-pool size; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Timeout is the per-experiment wall-clock deadline; 0 disables it.
+	Timeout time.Duration
+	// IDs restricts the run to a subset (still in registration order);
+	// nil runs everything.
+	IDs []string
+	// OnResult, when set, is called once per experiment in registration
+	// order as soon as the result (and all earlier ones) are available,
+	// so callers can stream deterministic output while later experiments
+	// are still running.
+	OnResult func(Result)
+}
+
+// SuiteResult is the outcome of a full suite run, in registration order.
+type SuiteResult struct {
+	Results  []Result
+	Wall     time.Duration
+	Parallel int
+	Timeout  time.Duration
+}
+
+// Failed returns the abnormally-ended results, in registration order.
+func (s *SuiteResult) Failed() []Result {
+	var f []Result
+	for _, r := range s.Results {
+		if r.Failed() {
+			f = append(f, r)
+		}
+	}
+	return f
+}
+
+// OK reports whether every experiment completed normally.
+func (s *SuiteResult) OK() bool { return len(s.Failed()) == 0 }
+
+// WriteOutputs writes each successful experiment's output block, in
+// registration order, in the exact format the sequential cmd/repro
+// always used. Failed experiments still get their header, followed by a
+// one-line failure note, so the suite's shape is stable.
+func (s *SuiteResult) WriteOutputs(w io.Writer) error {
+	for _, r := range s.Results {
+		if err := WriteResult(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResult writes one experiment's output block: the header line,
+// then either the output or a one-line failure note.
+func WriteResult(w io.Writer, r Result) error {
+	if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", r.ID, r.Desc); err != nil {
+		return err
+	}
+	if r.Failed() {
+		_, err := fmt.Fprintf(w, "FAILED (%s): %v\n", r.Status, r.Err)
+		return err
+	}
+	_, err := io.WriteString(w, r.Output)
+	return err
+}
+
+// RunSuite executes the selected experiments on a bounded worker pool.
+// Each experiment runs on its own goroutine with its own sim.Engine; a
+// panic is recovered into a StatusPanic result and the rest of the suite
+// still completes. Results come back in registration order regardless of
+// completion order. It returns an error only for an unknown ID in
+// opts.IDs — individual experiment failures are reported per-result.
+func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
+	exps := r.Experiments()
+	if opts.IDs != nil {
+		want := make(map[string]bool, len(opts.IDs))
+		for _, id := range opts.IDs {
+			if _, ok := r.Get(id); !ok {
+				return nil, fmt.Errorf("runner: unknown experiment %q", id)
+			}
+			want[id] = true
+		}
+		sel := exps[:0:0]
+		for _, e := range exps {
+			if want[e.ID] {
+				sel = append(sel, e)
+			}
+		}
+		exps = sel
+	}
+
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	results := make([]Result, len(exps))
+	ready := make([]chan struct{}, len(exps))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(exps[i], opts.Timeout)
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	// Consume in registration order; stream to the callback as soon as
+	// each prefix is complete.
+	for i := range exps {
+		<-ready[i]
+		if opts.OnResult != nil {
+			opts.OnResult(results[i])
+		}
+	}
+	wg.Wait()
+
+	return &SuiteResult{
+		Results:  results,
+		Wall:     time.Since(start),
+		Parallel: workers,
+		Timeout:  opts.Timeout,
+	}, nil
+}
+
+// runOne executes a single experiment with panic recovery and an
+// optional wall-clock deadline. The run happens on a fresh goroutine so
+// a deadline can abandon it; an abandoned run keeps its private engine
+// and context, so there is no shared state to race on.
+func runOne(e Experiment, timeout time.Duration) Result {
+	done := make(chan Result, 1)
+	go func() {
+		ctx := newCtx(e.ID)
+		res := Result{ID: e.ID, Desc: e.Desc, Status: StatusOK}
+		start := time.Now()
+		// A completion sentinel stays queued unless the run finishes
+		// cleanly, so EventsPending > 0 flags an abnormal end.
+		sentinel := ctx.eng.Schedule(sim.Forever, func(sim.Time) {})
+		defer func() {
+			if p := recover(); p != nil {
+				res.Status = StatusPanic
+				res.Err = fmt.Errorf("panic: %v", p)
+				res.Stack = string(debug.Stack())
+				res.Output = ""
+			}
+			res.Wall = time.Since(start)
+			res.EventsFired = ctx.eng.Fired()
+			res.EventsPending = ctx.eng.Pending()
+			res.Milestones = ctx.Milestones()
+			done <- res
+		}()
+		ctx.Milestone("start")
+		out, err := e.Run(ctx)
+		if err != nil {
+			res.Status = StatusError
+			res.Err = err
+			return
+		}
+		res.Output = out
+		ctx.Milestone("done")
+		ctx.eng.Cancel(sentinel)
+		ctx.eng.RunAll() // reap the cancelled sentinel: a clean run drains
+	}()
+
+	if timeout <= 0 {
+		return <-done
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res
+	case <-timer.C:
+		return Result{
+			ID: e.ID, Desc: e.Desc, Status: StatusTimeout,
+			Err:  fmt.Errorf("exceeded %v deadline", timeout),
+			Wall: timeout,
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// ManifestSchema identifies the manifest JSON layout; bump on
+// incompatible changes.
+const ManifestSchema = "apusim-run-manifest/v1"
+
+// Manifest is the structured record of one suite run, written as JSON by
+// cmd/repro -manifest.
+type Manifest struct {
+	Schema string       `json:"schema"`
+	Suite  SuiteSummary `json:"suite"`
+	// Experiments are per-run records in registration order.
+	Experiments []ExperimentRecord `json:"experiments"`
+}
+
+// SuiteSummary aggregates the whole run.
+type SuiteSummary struct {
+	Total     int     `json:"total"`
+	OK        int     `json:"ok"`
+	Failed    int     `json:"failed"`
+	Parallel  int     `json:"parallel"`
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	// Table is the suite summary rendered as a text table (the same
+	// table -summary prints), embedded so a manifest is self-describing.
+	Table string `json:"table"`
+}
+
+// ExperimentRecord is one experiment's entry in the manifest.
+type ExperimentRecord struct {
+	ID            string   `json:"id"`
+	Desc          string   `json:"desc"`
+	Status        Status   `json:"status"`
+	Error         string   `json:"error,omitempty"`
+	WallMS        float64  `json:"wall_ms"`
+	OutputBytes   int      `json:"output_bytes"`
+	EventsFired   uint64   `json:"events_fired"`
+	EventsPending int      `json:"events_pending"`
+	Milestones    []string `json:"milestones,omitempty"`
+}
+
+// BuildManifest converts a suite result into its manifest form.
+func BuildManifest(s *SuiteResult) *Manifest {
+	m := &Manifest{
+		Schema: ManifestSchema,
+		Suite: SuiteSummary{
+			Total:    len(s.Results),
+			Failed:   len(s.Failed()),
+			Parallel: s.Parallel,
+			WallMS:   s.Wall.Seconds() * 1e3,
+			Table:    s.SummaryTable().String(),
+		},
+	}
+	m.Suite.OK = m.Suite.Total - m.Suite.Failed
+	if s.Timeout > 0 {
+		m.Suite.TimeoutMS = s.Timeout.Seconds() * 1e3
+	}
+	for _, r := range s.Results {
+		rec := ExperimentRecord{
+			ID:            r.ID,
+			Desc:          r.Desc,
+			Status:        r.Status,
+			WallMS:        r.Wall.Seconds() * 1e3,
+			OutputBytes:   len(r.Output),
+			EventsFired:   r.EventsFired,
+			EventsPending: r.EventsPending,
+			Milestones:    r.Milestones,
+		}
+		if r.Err != nil {
+			rec.Error = r.Err.Error()
+		}
+		m.Experiments = append(m.Experiments, rec)
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// SummaryTable renders the per-experiment summary as a metrics table,
+// with a wall-time distribution footer row.
+func (s *SuiteResult) SummaryTable() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("suite summary: %d experiments, %d failed, parallel %d, wall %.0f ms",
+			len(s.Results), len(s.Failed()), s.Parallel, s.Wall.Seconds()*1e3),
+		"id", "status", "wall ms", "fired", "pending", "bytes")
+	wall := metrics.NewDistribution("wall ms")
+	for _, r := range s.Results {
+		t.AddRowf(r.ID, string(r.Status), r.Wall.Seconds()*1e3,
+			int(r.EventsFired), r.EventsPending, len(r.Output))
+		wall.Observe(r.Wall.Seconds() * 1e3)
+	}
+	t.AddRowf("(wall)", "-",
+		fmt.Sprintf("min %s / mean %s / max %s",
+			metrics.FormatFloat(wall.Min()),
+			metrics.FormatFloat(wall.Mean()),
+			metrics.FormatFloat(wall.Max())),
+		"-", "-", "-")
+	return t
+}

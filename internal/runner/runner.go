@@ -1,0 +1,185 @@
+// Package runner orchestrates the experiment suite: a registry of named
+// experiments, a bounded parallel executor that isolates panics and
+// enforces per-experiment deadlines, and a structured run manifest for
+// observability.
+//
+// Every experiment in the repository is registered once (ID, description,
+// run function); cmd/repro, cmd/apubench, and the benchmark suite all
+// enumerate the same registry instead of keeping private copies. The
+// executor runs experiments concurrently — each on its own independent
+// sim.Engine, so no simulation state is ever shared between goroutines —
+// but collects and reports results in registration order, which makes the
+// printed output byte-identical regardless of the parallelism degree.
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Ctx is the per-run context handed to an experiment's run function. Each
+// run gets a fresh, private discrete-event engine: the runner stamps
+// lifecycle events on it, and experiments may record additional progress
+// milestones. The engine's Fired/Pending counters land in the run
+// manifest, so an abnormal termination (panic, error) is visible as a
+// never-fired completion event.
+type Ctx struct {
+	id    string
+	eng   *sim.Engine
+	start time.Time
+
+	mu         sync.Mutex
+	milestones []string
+}
+
+func newCtx(id string) *Ctx {
+	return &Ctx{id: id, eng: sim.NewEngine(), start: time.Now()}
+}
+
+// ID reports the experiment ID this context belongs to.
+func (c *Ctx) ID() string { return c.id }
+
+// Engine returns the run's private discrete-event engine.
+func (c *Ctx) Engine() *sim.Engine { return c.eng }
+
+// Milestone records a named progress marker: an event is scheduled and
+// fired on the run's engine at the current wall-clock offset, so the
+// engine's event log mirrors the experiment's real-time progress.
+func (c *Ctx) Milestone(name string) {
+	at := sim.FromSeconds(time.Since(c.start).Seconds())
+	if at < c.eng.Now() {
+		at = c.eng.Now()
+	}
+	c.eng.Schedule(at, func(sim.Time) {})
+	c.eng.Run(at)
+	c.mu.Lock()
+	c.milestones = append(c.milestones, name)
+	c.mu.Unlock()
+}
+
+// Milestones returns the marker names recorded so far.
+func (c *Ctx) Milestones() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.milestones...)
+}
+
+// RunFunc produces an experiment's printable output.
+type RunFunc func(ctx *Ctx) (string, error)
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	// ID is the short unique name used on the command line (e.g. "fig20").
+	ID string
+	// Desc is the one-line description shown by -list.
+	Desc string
+	// Run regenerates the experiment and returns its printable output.
+	Run RunFunc
+}
+
+// Registry holds experiments in registration order.
+//
+// Registration normally happens once at startup from a single goroutine;
+// the registry nevertheless locks internally so concurrent enumeration
+// (e.g. from benchmarks) is safe.
+type Registry struct {
+	mu   sync.RWMutex
+	list []Experiment
+	byID map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]int)}
+}
+
+// Register adds an experiment. It rejects empty or duplicate IDs and nil
+// run functions.
+func (r *Registry) Register(e Experiment) error {
+	if e.ID == "" {
+		return fmt.Errorf("runner: experiment with empty ID (desc %q)", e.Desc)
+	}
+	if strings.ContainsAny(e.ID, " \t\n") {
+		return fmt.Errorf("runner: experiment ID %q contains whitespace", e.ID)
+	}
+	if e.Run == nil {
+		return fmt.Errorf("runner: experiment %q has nil Run", e.ID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[e.ID]; dup {
+		return fmt.Errorf("runner: duplicate experiment ID %q", e.ID)
+	}
+	r.byID[e.ID] = len(r.list)
+	r.list = append(r.list, e)
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Registration happens at
+// startup from static tables, so an error is a programming bug.
+func (r *Registry) MustRegister(e Experiment) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Experiments returns the registered experiments in registration order.
+func (r *Registry) Experiments() []Experiment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Experiment(nil), r.list...)
+}
+
+// Get returns the experiment with the given ID.
+func (r *Registry) Get(id string) (Experiment, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return r.list[i], true
+}
+
+// IDs returns the experiment IDs in registration order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, len(r.list))
+	for i, e := range r.list {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Len reports the number of registered experiments.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.list)
+}
+
+// List renders the registry as the -list command output: one
+// "id  description" line per experiment, in registration order.
+func (r *Registry) List() string {
+	var b strings.Builder
+	for _, e := range r.Experiments() {
+		fmt.Fprintf(&b, "%-8s %s\n", e.ID, e.Desc)
+	}
+	return b.String()
+}
+
+// Clone returns a new registry with the same experiments, for callers
+// that want to add ad-hoc entries (e.g. fault injection) without
+// mutating the shared registry.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	for _, e := range r.Experiments() {
+		c.MustRegister(e)
+	}
+	return c
+}

@@ -1,0 +1,340 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		i := i
+		r.MustRegister(Experiment{
+			ID:   fmt.Sprintf("e%d", i),
+			Desc: fmt.Sprintf("experiment %d", i),
+			Run: func(*Ctx) (string, error) {
+				return fmt.Sprintf("output %d\n", i), nil
+			},
+		})
+	}
+	return r
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	ok := Experiment{ID: "a", Desc: "d", Run: func(*Ctx) (string, error) { return "", nil }}
+	if err := r.Register(ok); err != nil {
+		t.Fatalf("valid registration failed: %v", err)
+	}
+	cases := []Experiment{
+		{ID: "", Desc: "empty", Run: ok.Run},
+		{ID: "a", Desc: "duplicate", Run: ok.Run},
+		{ID: "has space", Desc: "whitespace", Run: ok.Run},
+		{ID: "b", Desc: "nil run", Run: nil},
+	}
+	for _, c := range cases {
+		if err := r.Register(c); err == nil {
+			t.Errorf("Register(%q/%q) succeeded, want error", c.ID, c.Desc)
+		}
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after rejected registrations, want 1", r.Len())
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	r := testRegistry()
+	ids := r.IDs()
+	for i, id := range ids {
+		if want := fmt.Sprintf("e%d", i); id != want {
+			t.Fatalf("IDs[%d] = %q, want %q (registration order)", i, id, want)
+		}
+	}
+	e, ok := r.Get("e3")
+	if !ok || e.Desc != "experiment 3" {
+		t.Fatalf("Get(e3) = %+v, %v", e, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get(nope) succeeded")
+	}
+	list := r.List()
+	if len(strings.Split(strings.TrimRight(list, "\n"), "\n")) != r.Len() {
+		t.Fatalf("List has wrong line count:\n%s", list)
+	}
+	for _, e := range r.Experiments() {
+		if !strings.Contains(list, e.ID) || !strings.Contains(list, e.Desc) {
+			t.Errorf("List missing %q", e.ID)
+		}
+	}
+}
+
+// TestParallelOutputMatchesSequential is the core determinism guarantee:
+// the rendered suite output is byte-identical for any parallelism.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	r := testRegistry()
+	render := func(parallel int) string {
+		s, err := r.RunSuite(Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := s.WriteOutputs(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	for _, p := range []int{2, 4, 8, 16} {
+		if got := render(p); got != seq {
+			t.Fatalf("parallel %d output differs from sequential:\n%q\nvs\n%q", p, got, seq)
+		}
+	}
+}
+
+// TestPanicIsolation injects a panicking experiment and checks that it is
+// reported failed in the manifest while every other experiment completes.
+func TestPanicIsolation(t *testing.T) {
+	r := testRegistry()
+	r.MustRegister(Experiment{
+		ID: "boom", Desc: "injected crash",
+		Run: func(*Ctx) (string, error) { panic("injected failure") },
+	})
+	r.MustRegister(Experiment{
+		ID: "after", Desc: "registered after the crash",
+		Run: func(*Ctx) (string, error) { return "still fine\n", nil },
+	})
+	s, err := r.RunSuite(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OK() {
+		t.Fatal("suite reported OK despite a panicking experiment")
+	}
+	var sawPanic bool
+	for _, res := range s.Results {
+		switch res.ID {
+		case "boom":
+			sawPanic = true
+			if res.Status != StatusPanic {
+				t.Errorf("boom status = %s, want panic", res.Status)
+			}
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "injected failure") {
+				t.Errorf("boom err = %v", res.Err)
+			}
+			if res.Stack == "" {
+				t.Error("boom has no stack trace")
+			}
+			if res.EventsPending == 0 {
+				t.Error("boom completion sentinel should remain pending")
+			}
+		default:
+			if res.Status != StatusOK {
+				t.Errorf("%s status = %s, want ok", res.ID, res.Status)
+			}
+			if res.EventsPending != 0 {
+				t.Errorf("%s pending = %d, want 0 (clean run drains)", res.ID, res.EventsPending)
+			}
+		}
+	}
+	if !sawPanic {
+		t.Fatal("no result for the injected panic")
+	}
+
+	m := BuildManifest(s)
+	if m.Suite.Failed != 1 || m.Suite.OK != len(s.Results)-1 {
+		t.Errorf("summary = %+v, want 1 failed of %d", m.Suite, len(s.Results))
+	}
+	for _, rec := range m.Experiments {
+		if rec.ID == "boom" {
+			if rec.Status != StatusPanic || rec.Error == "" {
+				t.Errorf("manifest record for boom = %+v", rec)
+			}
+		} else if rec.Status != StatusOK {
+			t.Errorf("manifest record %s = %s, want ok", rec.ID, rec.Status)
+		}
+	}
+}
+
+func TestErrorResultKeepsSuiteRunning(t *testing.T) {
+	r := testRegistry()
+	r.MustRegister(Experiment{
+		ID: "bad", Desc: "returns an error",
+		Run: func(*Ctx) (string, error) { return "", errors.New("model diverged") },
+	})
+	s, err := r.RunSuite(Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || failed[0].ID != "bad" || failed[0].Status != StatusError {
+		t.Fatalf("Failed() = %+v", failed)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	r := NewRegistry()
+	block := make(chan struct{})
+	defer close(block)
+	r.MustRegister(Experiment{
+		ID: "hang", Desc: "never returns",
+		Run: func(*Ctx) (string, error) { <-block; return "", nil },
+	})
+	r.MustRegister(Experiment{
+		ID: "quick", Desc: "fast",
+		Run: func(*Ctx) (string, error) { return "ok\n", nil },
+	})
+	s, err := r.RunSuite(Options{Parallel: 2, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Results[0].Status != StatusTimeout {
+		t.Errorf("hang status = %s, want timeout", s.Results[0].Status)
+	}
+	if s.Results[1].Status != StatusOK {
+		t.Errorf("quick status = %s, want ok", s.Results[1].Status)
+	}
+}
+
+func TestSubsetAndUnknownID(t *testing.T) {
+	r := testRegistry()
+	s, err := r.RunSuite(Options{IDs: []string{"e5", "e1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 || s.Results[0].ID != "e1" || s.Results[1].ID != "e5" {
+		t.Fatalf("subset results = %+v, want [e1 e5] in registration order", s.Results)
+	}
+	if _, err := r.RunSuite(Options{IDs: []string{"nope"}}); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestOnResultStreamsInOrder(t *testing.T) {
+	r := testRegistry()
+	var got []string
+	s, err := r.RunSuite(Options{Parallel: 8, OnResult: func(res Result) {
+		got = append(got, res.ID)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s.Results) {
+		t.Fatalf("OnResult fired %d times, want %d", len(got), len(s.Results))
+	}
+	for i, id := range got {
+		if id != s.Results[i].ID {
+			t.Fatalf("OnResult order = %v", got)
+		}
+	}
+}
+
+func TestCtxMilestonesAndEngineStats(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Experiment{
+		ID: "m", Desc: "uses milestones",
+		Run: func(ctx *Ctx) (string, error) {
+			ctx.Milestone("halfway")
+			if ctx.ID() != "m" {
+				t.Errorf("ctx.ID = %q", ctx.ID())
+			}
+			return "x", nil
+		},
+	})
+	s, err := r.RunSuite(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Results[0]
+	// start + halfway + done.
+	want := []string{"start", "halfway", "done"}
+	if len(res.Milestones) != len(want) {
+		t.Fatalf("milestones = %v, want %v", res.Milestones, want)
+	}
+	for i := range want {
+		if res.Milestones[i] != want[i] {
+			t.Fatalf("milestones = %v, want %v", res.Milestones, want)
+		}
+	}
+	if res.EventsFired != 3 {
+		t.Errorf("EventsFired = %d, want 3", res.EventsFired)
+	}
+	if res.EventsPending != 0 {
+		t.Errorf("EventsPending = %d, want 0", res.EventsPending)
+	}
+}
+
+func TestManifestJSONRoundTrips(t *testing.T) {
+	r := testRegistry()
+	s, err := r.RunSuite(Options{Parallel: 2, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := BuildManifest(s).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Schema != ManifestSchema {
+		t.Errorf("schema = %q", back.Schema)
+	}
+	if back.Suite.Total != 8 || back.Suite.OK != 8 || back.Suite.Failed != 0 {
+		t.Errorf("suite summary = %+v", back.Suite)
+	}
+	if back.Suite.TimeoutMS != 60_000 {
+		t.Errorf("timeout_ms = %v", back.Suite.TimeoutMS)
+	}
+	if len(back.Experiments) != 8 {
+		t.Fatalf("experiments = %d", len(back.Experiments))
+	}
+	for i, rec := range back.Experiments {
+		if rec.ID != s.Results[i].ID {
+			t.Errorf("manifest order: %q at %d", rec.ID, i)
+		}
+		if rec.OutputBytes != len(s.Results[i].Output) {
+			t.Errorf("%s output_bytes = %d", rec.ID, rec.OutputBytes)
+		}
+	}
+	if !strings.Contains(back.Suite.Table, "suite summary") {
+		t.Error("manifest summary table missing")
+	}
+}
+
+func TestSummaryTableShape(t *testing.T) {
+	r := testRegistry()
+	s, err := r.RunSuite(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.SummaryTable()
+	// One row per experiment plus the wall-time distribution footer.
+	if tbl.NumRows() != r.Len()+1 {
+		t.Fatalf("summary rows = %d, want %d", tbl.NumRows(), r.Len()+1)
+	}
+	out := tbl.String()
+	for _, id := range r.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("summary missing %s", id)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := testRegistry()
+	c := r.Clone()
+	c.MustRegister(Experiment{ID: "extra", Desc: "clone-only",
+		Run: func(*Ctx) (string, error) { return "", nil }})
+	if c.Len() != r.Len()+1 {
+		t.Errorf("clone len = %d, want %d", c.Len(), r.Len()+1)
+	}
+	if _, ok := r.Get("extra"); ok {
+		t.Error("clone registration leaked into the source registry")
+	}
+}

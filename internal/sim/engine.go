@@ -148,6 +148,21 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired reports the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// Cancelled reports the total number of events cancelled so far.
+func (e *Engine) Cancelled() uint64 { return e.cancel }
+
+// Drained reports whether no live events remain: the queue is empty or
+// holds only cancelled events awaiting lazy reaping (which Pending still
+// counts).
+func (e *Engine) Drained() bool {
+	for _, ev := range e.queue {
+		if !ev.dead {
+			return false
+		}
+	}
+	return true
+}
+
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it indicates a causality bug in a component model.
 func (e *Engine) Schedule(at Time, fn Handler) EventID {

@@ -92,6 +92,91 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+// TestEngineCancelAfterFire covers the cancel-after-pop edge: once an
+// event has fired (been popped off the heap), cancelling its ID must be
+// a no-op that reports false and does not disturb the stats.
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	id := e.Schedule(10, func(Time) { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Cancel(id) {
+		t.Error("Cancel returned true for an already-fired event")
+	}
+	if e.Cancelled() != 0 {
+		t.Errorf("Cancelled = %d after no-op cancel, want 0", e.Cancelled())
+	}
+	if e.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+// TestEngineCancelFromSameTimestampHandler exercises both sides of the
+// FIFO + cancel interaction at one timestamp: a handler can still cancel
+// a later event scheduled for the same instant (it has not popped yet),
+// but cancelling itself mid-flight fails (it already popped).
+func TestEngineCancelFromSameTimestampHandler(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var firstID, secondID EventID
+	firstID = e.Schedule(50, func(Time) {
+		order = append(order, "first")
+		if e.Cancel(firstID) {
+			t.Error("handler cancelled itself after popping")
+		}
+		if !e.Cancel(secondID) {
+			t.Error("could not cancel a same-timestamp event still queued")
+		}
+	})
+	secondID = e.Schedule(50, func(Time) { order = append(order, "second") })
+	e.Schedule(50, func(Time) { order = append(order, "third") })
+	e.RunAll()
+	// FIFO among equal timestamps, minus the cancelled middle event.
+	if len(order) != 2 || order[0] != "first" || order[1] != "third" {
+		t.Fatalf("order = %v, want [first third]", order)
+	}
+	if e.Cancelled() != 1 {
+		t.Errorf("Cancelled = %d, want 1", e.Cancelled())
+	}
+}
+
+// TestEngineDrained covers the stats accessors around lazy reaping:
+// cancelled events keep Pending nonzero but the engine is Drained.
+func TestEngineDrained(t *testing.T) {
+	e := NewEngine()
+	if !e.Drained() {
+		t.Error("fresh engine not Drained")
+	}
+	id1 := e.Schedule(10, func(Time) {})
+	e.Schedule(20, func(Time) {})
+	if e.Drained() {
+		t.Error("Drained with live events queued")
+	}
+	e.Cancel(id1)
+	if e.Drained() {
+		t.Error("Drained while a live event remains")
+	}
+	e.Run(20)
+	if !e.Drained() {
+		t.Error("not Drained after running all live events")
+	}
+	// A cancelled-but-unreaped event: Pending counts it, Drained ignores it.
+	id3 := e.Schedule(30, func(Time) {})
+	e.Cancel(id3)
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (lazy reap)", e.Pending())
+	}
+	if !e.Drained() {
+		t.Error("not Drained with only dead events queued")
+	}
+	if e.Fired() != 1 || e.Cancelled() != 2 {
+		t.Errorf("Fired/Cancelled = %d/%d, want 1/2", e.Fired(), e.Cancelled())
+	}
+}
+
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(100, func(Time) {})

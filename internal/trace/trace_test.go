@@ -3,11 +3,15 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/sim"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestSpanAndOrdering(t *testing.T) {
 	tr := New()
@@ -75,5 +79,60 @@ func TestLen(t *testing.T) {
 	tr.Span("a", "", 0, 0, 0, sim.Microsecond, nil)
 	if tr.Len() != 1 {
 		t.Error("Len wrong")
+	}
+}
+
+// goldenTrace builds the fixed trace used by the golden-file test: two
+// labeled tracks, events recorded out of start-time order, and args maps
+// with multiple keys (so key ordering is exercised too).
+func goldenTrace() *Trace {
+	tr := New()
+	tr.NameProcess(1, "MI300A")
+	tr.NameProcess(0, "host")
+	tr.NameThread(1, 2, "XCD1")
+	tr.NameThread(1, 1, "XCD0")
+	tr.NameThread(0, 0, "CPU")
+	tr.Span("kernel-b", "gpu", 1, 2, 40*sim.Microsecond, 90*sim.Microsecond,
+		map[string]string{"workgroups": "304", "arch": "cdna3"})
+	tr.Span("kernel-a", "gpu", 1, 1, 10*sim.Microsecond, 60*sim.Microsecond, nil)
+	tr.Span("memcpy", "copy", 0, 0, 0, 10*sim.Microsecond,
+		map[string]string{"bytes": "4194304"})
+	return tr
+}
+
+// TestWriteJSONGolden pins the exported Chrome trace-event JSON byte for
+// byte: stable event ordering (by start time), stable track-name
+// metadata ordering (by pid, then tid), and stable field/key layout.
+// The runner's future trace hooks rely on this format not drifting.
+// Regenerate with: go test ./internal/trace -run Golden -update
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/chrome_trace.golden.json"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file %s\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+	// The golden bytes must also be stable across repeated exports of
+	// the same logical trace (map iteration must never leak through).
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := goldenTrace().WriteJSON(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatal("repeated WriteJSON produced different bytes")
+		}
 	}
 }

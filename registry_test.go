@@ -1,0 +1,91 @@
+package apusim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestRegistryIDs pins the registry invariants the CLI relies on: every
+// experiment has a unique, non-empty, whitespace-free ID, and the suite
+// covers the full evaluation.
+func TestRegistryIDs(t *testing.T) {
+	reg := Experiments()
+	if reg.Len() < 24 {
+		t.Fatalf("registry has %d experiments, want the full evaluation (>= 24)", reg.Len())
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg.Experiments() {
+		if e.ID == "" {
+			t.Errorf("experiment %q has empty ID", e.Desc)
+		}
+		if strings.ContainsAny(e.ID, " \t\n") {
+			t.Errorf("experiment ID %q contains whitespace", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Desc == "" {
+			t.Errorf("experiment %q has empty description", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %q has nil run function", e.ID)
+		}
+	}
+	// Spot-check that the paper's headline artifacts are present.
+	for _, id := range []string{"table1", "fig7", "fig14", "fig20", "fig21", "ehpv4", "efficiency"} {
+		if !seen[id] {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+}
+
+// TestListMatchesRegistry asserts the -list output is generated from the
+// registry, line for line, in registration order.
+func TestListMatchesRegistry(t *testing.T) {
+	reg := Experiments()
+	lines := strings.Split(strings.TrimRight(reg.List(), "\n"), "\n")
+	exps := reg.Experiments()
+	if len(lines) != len(exps) {
+		t.Fatalf("-list has %d lines, registry has %d experiments", len(lines), len(exps))
+	}
+	for i, e := range exps {
+		if !strings.HasPrefix(lines[i], e.ID) {
+			t.Errorf("line %d = %q, want it to start with %q", i, lines[i], e.ID)
+		}
+		if !strings.HasSuffix(lines[i], e.Desc) {
+			t.Errorf("line %d = %q, want it to end with %q", i, lines[i], e.Desc)
+		}
+	}
+}
+
+// TestSuiteParallelDeterminism is the acceptance check for the runner:
+// rendering the full evaluation with a parallel worker pool produces
+// byte-identical output to a sequential run.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation; skipped with -short")
+	}
+	render := func(parallel int) string {
+		suite, err := Experiments().RunSuite(runner.Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range suite.Failed() {
+			t.Fatalf("%s failed (%s): %v", r.ID, r.Status, r.Err)
+		}
+		var b bytes.Buffer
+		if err := suite.WriteOutputs(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	par := render(8)
+	seq := render(1)
+	if par != seq {
+		t.Error("parallel suite output differs from sequential output")
+	}
+}
