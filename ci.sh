@@ -24,4 +24,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fault-injection smoke =="
+# A survivable fault plan must complete (degraded, exit 0); a plan that
+# partitions the fabric must fail with the typed error (exit nonzero).
+go run ./cmd/repro -faults cmd/repro/testdata/faults-degraded.json >/dev/null
+if go run ./cmd/repro -faults cmd/repro/testdata/faults-partition.json >/dev/null 2>&1; then
+    echo "ci.sh: partitioning fault plan exited 0, want failure" >&2
+    exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -33,6 +33,7 @@ func main() {
 	sparse := flag.Bool("sparse", false, "GEMM: use 4:2 structured sparsity")
 	exp := flag.String("exp", "", "run one experiment from the shared registry (see -list-experiments)")
 	listExp := flag.Bool("list-experiments", false, "list the shared experiment registry and exit")
+	retries := flag.Int("retries", 0, "with -exp: re-run a failing experiment up to N more times on fresh engines")
 	flag.Parse()
 
 	if *listExp {
@@ -41,7 +42,7 @@ func main() {
 	}
 	if *exp != "" {
 		suite, err := apusim.Experiments().RunSuite(runner.Options{
-			Parallel: 1, IDs: []string{*exp},
+			Parallel: 1, IDs: []string{*exp}, Retries: *retries,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apubench: %v (use -list-experiments)\n", err)

@@ -15,6 +15,8 @@
 //	repro -list                # list experiment ids
 //	repro -manifest run.json   # also write a structured run manifest
 //	repro -summary             # print the suite summary table to stderr
+//	repro -retries 2           # re-run failing experiments with fresh engines
+//	repro -faults plan.json    # inject a RAS fault plan into an MI300A run
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	apusim "repro"
+	"repro/internal/ras"
 	"repro/internal/runner"
 )
 
@@ -37,6 +40,8 @@ func main() {
 	summary := flag.Bool("summary", false, "print the suite summary table to stderr")
 	injectPanic := flag.Bool("inject-panic", false, "register a crashing experiment (tests panic isolation)")
 	tracePrefix := flag.String("trace", "", "write Chrome traces to <prefix>-fig14.json and <prefix>-dispatch.json")
+	retries := flag.Int("retries", 0, "re-run a failing experiment up to N more times, each on a fresh engine")
+	faults := flag.String("faults", "", "JSON RAS fault plan: run it against an MI300A platform as experiment \"faultplan\"")
 	flag.Parse()
 
 	if *tracePrefix != "" {
@@ -56,6 +61,31 @@ func main() {
 			},
 		})
 	}
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
+			os.Exit(2)
+		}
+		plan, err := ras.ParsePlan(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
+			os.Exit(2)
+		}
+		reg = reg.Clone()
+		reg.MustRegister(runner.Experiment{
+			ID:   "faultplan",
+			Desc: fmt.Sprintf("RAS fault plan %s (%d faults)", *faults, len(plan.Faults)),
+			Run: func(ctx *runner.Ctx) (string, error) {
+				return apusim.ExperimentFaultPlan(ctx, plan)
+			},
+		})
+		// A fault-plan invocation runs just the plan unless -exp selects
+		// something else on top of it.
+		if *exp == "" {
+			*exp = "faultplan"
+		}
+	}
 
 	if *list {
 		fmt.Print(reg.List())
@@ -65,6 +95,7 @@ func main() {
 	opts := runner.Options{
 		Parallel: *parallel,
 		Timeout:  *timeout,
+		Retries:  *retries,
 		OnResult: func(r runner.Result) {
 			if err := runner.WriteResult(os.Stdout, r); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: %v\n", err)

@@ -14,12 +14,45 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/sim"
 )
+
+// ErrPartitioned reports that a destination is unreachable because every
+// candidate path crosses at least one downed link. Callers distinguish it
+// from topology bugs with errors.Is.
+var ErrPartitioned = errors.New("fabric: network partitioned")
+
+// LinkState is the RAS health state of a link.
+type LinkState int
+
+const (
+	// LinkUp is a healthy link at full bandwidth.
+	LinkUp LinkState = iota
+	// LinkDerated carries traffic at a fraction of nominal bandwidth
+	// (lane retirement, thermal throttling, retraining at lower speed).
+	LinkDerated
+	// LinkDown carries no traffic; routing must go around it.
+	LinkDown
+)
+
+// String names the link state.
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkDerated:
+		return "derated"
+	case LinkDown:
+		return "down"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int(s))
+	}
+}
 
 // NodeID identifies a node in the network.
 type NodeID int
@@ -71,19 +104,39 @@ type Link struct {
 	Kind    config.LinkKind
 	Src     NodeID
 	Dst     NodeID
-	BW      float64  // bytes/sec
+	BW      float64  // nominal bytes/sec
 	Latency sim.Time // header latency
 
+	state     LinkState
+	derate    float64 // effective-BW fraction while LinkDerated, in (0, 1]
 	busyUntil sim.Time
 	bytes     uint64
 }
 
-// SerializationTime reports how long the payload occupies the link.
+// State reports the link's RAS health state.
+func (l *Link) State() LinkState { return l.state }
+
+// EffectiveBW reports the bandwidth the link currently delivers: nominal
+// when up, nominal×derate when derated, zero when down.
+func (l *Link) EffectiveBW() float64 {
+	switch l.state {
+	case LinkDown:
+		return 0
+	case LinkDerated:
+		return l.BW * l.derate
+	default:
+		return l.BW
+	}
+}
+
+// SerializationTime reports how long the payload occupies the link at its
+// current effective bandwidth.
 func (l *Link) SerializationTime(bytes int64) sim.Time {
-	if bytes <= 0 || l.BW <= 0 {
+	bw := l.EffectiveBW()
+	if bytes <= 0 || bw <= 0 {
 		return 0
 	}
-	return sim.FromSeconds(float64(bytes) / l.BW)
+	return sim.FromSeconds(float64(bytes) / bw)
 }
 
 // BytesCarried reports total payload bytes that have crossed the link.
@@ -93,12 +146,25 @@ func (l *Link) BytesCarried() uint64 { return l.bytes }
 func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
 
 // Utilization reports the fraction of [0, horizon] the link spent busy,
-// approximated from bytes carried.
+// approximated from bytes carried and clamped to [0, 1] (queued traffic can
+// push the raw byte-derived ratio past 1.0, which is meaningless as a duty
+// cycle and pollutes summary tables).
 func (l *Link) Utilization(horizon sim.Time) float64 {
 	if horizon <= 0 || l.BW <= 0 {
 		return 0
 	}
-	return float64(l.bytes) / l.BW / horizon.Seconds()
+	bw := l.EffectiveBW()
+	if bw <= 0 {
+		bw = l.BW
+	}
+	u := float64(l.bytes) / bw / horizon.Seconds()
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
 }
 
 // EnergyPJ reports transport energy consumed so far in picojoules.
@@ -164,8 +230,51 @@ func (n *Network) Links() []*Link { return n.links }
 func (n *Network) Connect(a, b NodeID, kind config.LinkKind, bwPerDir float64, latency sim.Time) *Link {
 	fwd := n.addLink(a, b, kind, bwPerDir, latency)
 	n.addLink(b, a, kind, bwPerDir, latency)
-	n.routes = make(map[int64][]*Link) // invalidate route cache
+	n.invalidateCaches()
 	return fwd
+}
+
+// invalidateCaches drops every derived routing artifact. It must run on any
+// topology mutation — adding links or changing link health — or cached
+// routes/latencies keep steering traffic over a stale view of the fabric.
+func (n *Network) invalidateCaches() {
+	n.routes = make(map[int64][]*Link)
+	n.priorityLat = make(map[int64]sim.Time)
+}
+
+// SetLinkState changes the health of the directed link with the given ID
+// and invalidates the route caches so subsequent routing goes around downed
+// links. derate is the effective-bandwidth fraction and is only meaningful
+// for LinkDerated, where it must be in (0, 1].
+func (n *Network) SetLinkState(id int, state LinkState, derate float64) error {
+	if id < 0 || id >= len(n.links) {
+		return fmt.Errorf("fabric: no link with id %d", id)
+	}
+	if state == LinkDerated && (derate <= 0 || derate > 1) {
+		return fmt.Errorf("fabric: derate %g outside (0, 1]", derate)
+	}
+	l := n.links[id]
+	l.state = state
+	l.derate = derate
+	n.invalidateCaches()
+	return nil
+}
+
+// SetLinkStateBetween applies SetLinkState to every link joining a and b in
+// either direction, returning how many links were changed. Connections are
+// bidirectional link pairs, so failing "the link" between two dies means
+// failing both directions.
+func (n *Network) SetLinkStateBetween(a, b NodeID, state LinkState, derate float64) (int, error) {
+	changed := 0
+	for _, l := range n.links {
+		if (l.Src == a && l.Dst == b) || (l.Src == b && l.Dst == a) {
+			if err := n.SetLinkState(l.ID, state, derate); err != nil {
+				return changed, err
+			}
+			changed++
+		}
+	}
+	return changed, nil
 }
 
 func (n *Network) addLink(src, dst NodeID, kind config.LinkKind, bw float64, lat sim.Time) *Link {
@@ -219,6 +328,9 @@ func (n *Network) bfs(src, dst NodeID) ([]*Link, error) {
 			links := append([]*Link(nil), n.adj[u]...)
 			sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
 			for _, l := range links {
+				if l.state == LinkDown {
+					continue
+				}
 				cand := state{hops: su.hops + 1, lat: su.lat + l.Latency, via: l, prev: u}
 				sv, seen := best[l.Dst]
 				if !seen || cand.hops < sv.hops || (cand.hops == sv.hops && cand.lat < sv.lat) {
@@ -230,7 +342,7 @@ func (n *Network) bfs(src, dst NodeID) ([]*Link, error) {
 		frontier = next
 	}
 	if _, ok := best[dst]; !ok {
-		return nil, fmt.Errorf("fabric: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name)
+		return nil, fmt.Errorf("%w: no route %s -> %s", ErrPartitioned, n.nodes[src].Name, n.nodes[dst].Name)
 	}
 	var path []*Link
 	for at := dst; at != src; {
@@ -304,10 +416,10 @@ func (n *Network) PathBandwidth(src, dst NodeID) (float64, error) {
 	if len(path) == 0 {
 		return 0, fmt.Errorf("fabric: zero-hop path has no bandwidth")
 	}
-	bw := path[0].BW
+	bw := path[0].EffectiveBW()
 	for _, l := range path[1:] {
-		if l.BW < bw {
-			bw = l.BW
+		if b := l.EffectiveBW(); b < bw {
+			bw = b
 		}
 	}
 	return bw, nil
@@ -327,15 +439,20 @@ func (n *Network) Hops(src, dst NodeID) (int, error) {
 // path latency plus a fixed small per-hop arbitration cost but does not
 // queue behind bulk traffic and does not consume link bandwidth.
 func (n *Network) Signal(start sim.Time, src, dst NodeID) (sim.Time, error) {
+	key := routeKey(src, dst)
+	if lat, ok := n.priorityLat[key]; ok {
+		return start + lat, nil
+	}
 	path, err := n.Route(src, dst)
 	if err != nil {
 		return 0, err
 	}
-	t := start
+	var lat sim.Time
 	for _, l := range path {
-		t += l.Latency + 2*sim.Nanosecond
+		lat += l.Latency + 2*sim.Nanosecond
 	}
-	return t, nil
+	n.priorityLat[key] = lat
+	return start + lat, nil
 }
 
 // TotalEnergyPJ sums transport energy over all links.

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -238,6 +239,141 @@ func TestRouteSymmetryProperty(t *testing.T) {
 				t.Errorf("2x2 mesh should reach any IOD in <=2 hops, got %d", hij)
 			}
 		}
+	}
+}
+
+// mesh2x2 builds the MI300-style four-IOD mesh: horizontal links at 1.5
+// TB/s, vertical at 1.2 TB/s.
+func mesh2x2(t *testing.T) (*Network, []NodeID) {
+	t.Helper()
+	n := New()
+	ids := make([]NodeID, 4)
+	for i := range ids {
+		ids[i] = n.AddNode([]string{"IOD-A", "IOD-B", "IOD-C", "IOD-D"}[i], KindIOD).ID
+	}
+	n.Connect(ids[0], ids[1], config.LinkUSR, 1.5e12, 5*sim.Nanosecond) // A-B
+	n.Connect(ids[2], ids[3], config.LinkUSR, 1.5e12, 5*sim.Nanosecond) // C-D
+	n.Connect(ids[0], ids[2], config.LinkUSR, 1.2e12, 5*sim.Nanosecond) // A-C
+	n.Connect(ids[1], ids[3], config.LinkUSR, 1.2e12, 5*sim.Nanosecond) // B-D
+	return n, ids
+}
+
+// Regression for the stale-route-cache bug: a cached route (and cached
+// priority-signal latency) computed before a topology mutation must not
+// survive the mutation.
+func TestConnectInvalidatesCaches(t *testing.T) {
+	n, a, _, c := line(t, 1e12, 1e12)
+	if h, _ := n.Hops(a, c); h != 2 {
+		t.Fatalf("pre-mutation hops = %d, want 2", h)
+	}
+	sigBefore, _ := n.Signal(0, a, c) // populates priorityLat cache
+	// Mutate the topology after routes were cached: add a direct fast link.
+	n.Connect(a, c, config.LinkUSR, 1e12, sim.Nanosecond)
+	if h, _ := n.Hops(a, c); h != 1 {
+		t.Errorf("post-Connect hops = %d, want 1 (stale route cache)", h)
+	}
+	sigAfter, _ := n.Signal(0, a, c)
+	if sigAfter >= sigBefore {
+		t.Errorf("post-Connect signal %v not faster than %v (stale priorityLat cache)", sigAfter, sigBefore)
+	}
+}
+
+func TestSetLinkStateInvalidatesCachedRoute(t *testing.T) {
+	n, ids := mesh2x2(t)
+	if h, _ := n.Hops(ids[0], ids[1]); h != 1 {
+		t.Fatalf("healthy A->B hops = %d, want 1", h)
+	}
+	if _, err := n.SetLinkStateBetween(ids[0], ids[1], LinkDown, 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := n.Hops(ids[0], ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 3 {
+		t.Errorf("A->B hops after A-B down = %d, want 3 (A-C-D-B)", h)
+	}
+}
+
+func TestLinkDownReroutesAtLowerBandwidth(t *testing.T) {
+	n, ids := mesh2x2(t)
+	healthy, err := n.PathBandwidth(ids[0], ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SetLinkStateBetween(ids[0], ids[1], LinkDown, 0); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := n.PathBandwidth(ids[0], ids[1])
+	if err != nil {
+		t.Fatalf("rerouted path should survive: %v", err)
+	}
+	if !(degraded > 0 && degraded < healthy) {
+		t.Errorf("degraded BW %g not strictly between 0 and healthy %g", degraded, healthy)
+	}
+}
+
+func TestPartitionReturnsTypedError(t *testing.T) {
+	n, ids := mesh2x2(t)
+	// Isolate IOD-B: both of its connections go down.
+	if _, err := n.SetLinkStateBetween(ids[0], ids[1], LinkDown, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SetLinkStateBetween(ids[1], ids[3], LinkDown, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.Route(ids[0], ids[1])
+	if !errors.Is(err, ErrPartitioned) {
+		t.Errorf("Route to isolated node = %v, want ErrPartitioned", err)
+	}
+	if _, err := n.Transfer(0, ids[2], ids[1], 4096); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("Transfer to isolated node = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestLinkDerateSlowsSerialization(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	l := n.Connect(a, b, config.LinkUSR, 1e9, 0)
+	end1, _ := n.Transfer(0, a, b, 1e6)
+	if err := n.SetLinkState(l.ID, LinkDerated, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EffectiveBW(); got != 5e8 {
+		t.Errorf("EffectiveBW at 0.5 derate = %g, want 5e8", got)
+	}
+	n.ResetStats()
+	end2, _ := n.Transfer(0, a, b, 1e6)
+	if end2 != 2*end1 {
+		t.Errorf("derated transfer = %v, want exactly 2x healthy %v", end2, end1)
+	}
+	if err := n.SetLinkState(l.ID, LinkDerated, 1.5); err == nil {
+		t.Error("derate > 1 should be rejected")
+	}
+	if err := n.SetLinkState(99, LinkDown, 0); err == nil {
+		t.Error("unknown link id should be rejected")
+	}
+}
+
+// Boundary test for the Utilization clamp: traffic worth 2x the horizon's
+// capacity must report exactly 1.0, not 2.0.
+func TestUtilizationClampedAtBoundary(t *testing.T) {
+	n := New()
+	a := n.AddNode("A", KindIOD).ID
+	b := n.AddNode("B", KindIOD).ID
+	l := n.Connect(a, b, config.LinkUSR, 1e9, 0)
+	n.Transfer(0, a, b, 2e9) // 2 s of traffic into a 1 s horizon
+	if u := l.Utilization(sim.Second); u != 1 {
+		t.Errorf("over-capacity Utilization = %g, want clamped 1.0", u)
+	}
+	n.ResetStats()
+	n.Transfer(0, a, b, 1e9) // exactly at capacity
+	if u := l.Utilization(sim.Second); u != 1 {
+		t.Errorf("at-capacity Utilization = %g, want 1.0", u)
+	}
+	if u := l.Utilization(0); u != 0 {
+		t.Errorf("zero-horizon Utilization = %g, want 0", u)
 	}
 }
 

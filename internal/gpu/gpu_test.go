@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -45,11 +46,11 @@ func TestPartitionAssignRoundRobinVsBlock(t *testing.T) {
 	rr := NewPartition("rr", xs, env, PolicyRoundRobin)
 	blk := NewPartition("blk", xs, env, PolicyBlock)
 
-	a := rr.assign(10)
+	a := rr.assign(10, rr.liveXCDs())
 	if len(a[0]) != 3 || a[0][1] != 4 {
 		t.Errorf("round-robin assignment wrong: %v", a)
 	}
-	b := blk.assign(10)
+	b := blk.assign(10, blk.liveXCDs())
 	if len(b[0]) != 3 || b[0][2] != 2 {
 		t.Errorf("block assignment wrong: %v", b)
 	}
@@ -82,7 +83,7 @@ func TestAssignCoverageProperty(t *testing.T) {
 		p := NewPartition("p", xs, nil, pol)
 		nWG := int(n)%2000 + 1
 		seen := make(map[int]bool)
-		for _, wgs := range p.assign(nWG) {
+		for _, wgs := range p.assign(nWG, p.liveXCDs()) {
 			for _, wg := range wgs {
 				if wg < 0 || wg >= nWG || seen[wg] {
 					return false
@@ -363,21 +364,150 @@ func TestDispatchCorrectUnderHeavyHarvesting(t *testing.T) {
 	}
 }
 
-func TestXCDWithZeroEnabledCUsPanics(t *testing.T) {
+func TestDispatchWithZeroEnabledCUsTypedError(t *testing.T) {
 	spec := *config.MI300A().XCD
 	spec.EnabledCUs = 0
 	x := NewXCD(0, &spec, sim.NewRNG(1))
-	// All 40 CUs disabled... EnabledCUs = PhysicalCUs - 0 disabled? The
-	// constructor disables Physical-Enabled = 40: everything.
+	// The constructor disables Physical-Enabled = 40 CUs: everything.
 	if x.EnabledCUs() != 0 {
 		t.Skip("constructor kept some CUs enabled")
 	}
+	// A partition whose only die has no usable CUs must refuse the
+	// dispatch with a typed error — not hang, not panic.
 	p := NewPartition("dead", []*XCD{x}, nil, PolicyRoundRobin)
-	defer func() {
-		if recover() == nil {
-			t.Error("dispatch on a CU-less XCD did not panic")
-		}
-	}()
 	k := &KernelSpec{Name: "k", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 1}
-	p.Dispatch(0, k, 64, 64, 0)
+	_, err := p.Dispatch(0, k, 64, 64, 0)
+	if !errors.Is(err, ErrNoCompute) {
+		t.Errorf("dispatch on CU-less partition = %v, want ErrNoCompute", err)
+	}
+}
+
+// Satellite: CU-harvesting determinism. Same seed must give the identical
+// disabled-CU set; the enabled count always matches the spec; and a spec
+// with no harvest margin disables nothing.
+func TestHarvestingDeterministic(t *testing.T) {
+	spec := config.MI300A().XCD
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := NewXCD(0, spec, sim.NewRNG(seed))
+		b := NewXCD(0, spec, sim.NewRNG(seed))
+		da, db := a.DisabledCUs(), b.DisabledCUs()
+		if len(da) != len(db) {
+			t.Fatalf("seed %d: disabled sets differ in size: %v vs %v", seed, da, db)
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("seed %d: disabled sets differ: %v vs %v", seed, da, db)
+			}
+		}
+	}
+}
+
+func TestHarvestingMatchesSpecCount(t *testing.T) {
+	base := *config.MI300A().XCD
+	for _, enabled := range []int{1, 3, 20, 38, 40} {
+		spec := base
+		spec.EnabledCUs = enabled
+		for seed := uint64(1); seed <= 5; seed++ {
+			x := NewXCD(0, &spec, sim.NewRNG(seed))
+			if got := x.EnabledCUs(); got != enabled {
+				t.Errorf("seed %d: EnabledCUs = %d, want %d", seed, got, enabled)
+			}
+		}
+	}
+}
+
+func TestNoHarvestWhenAllCUsEnabled(t *testing.T) {
+	spec := *config.MI300A().XCD
+	spec.EnabledCUs = spec.PhysicalCUs
+	x := NewXCD(0, &spec, sim.NewRNG(3))
+	if got := x.DisabledCUs(); len(got) != 0 {
+		t.Errorf("PhysicalCUs == EnabledCUs but %v disabled", got)
+	}
+	if x.EnabledCUs() != spec.PhysicalCUs {
+		t.Errorf("EnabledCUs = %d, want %d", x.EnabledCUs(), spec.PhysicalCUs)
+	}
+}
+
+func TestDisableCUMidRun(t *testing.T) {
+	x := testXCDs(1)[0]
+	before := x.EnabledCUs()
+	// Find an enabled CU and kill it.
+	var victim int = -1
+	for _, c := range x.CUs() {
+		if !c.Disabled {
+			victim = c.Index
+			break
+		}
+	}
+	if !x.DisableCU(victim) {
+		t.Fatal("DisableCU on enabled CU returned false")
+	}
+	if x.DisableCU(victim) {
+		t.Error("DisableCU on already-disabled CU returned true")
+	}
+	if x.DisableCU(999) {
+		t.Error("DisableCU out of range returned true")
+	}
+	if got := x.EnabledCUs(); got != before-1 {
+		t.Errorf("EnabledCUs after loss = %d, want %d", got, before-1)
+	}
+	rng := sim.NewRNG(5)
+	n := x.DisableRandomCUs(4, rng)
+	if n != 4 || x.EnabledCUs() != before-5 {
+		t.Errorf("DisableRandomCUs disabled %d (enabled now %d), want 4 (%d)", n, x.EnabledCUs(), before-5)
+	}
+}
+
+func TestXCDLossRedistributesDispatch(t *testing.T) {
+	xs := testXCDs(4)
+	env := &ExecEnv{}
+	p := NewPartition("p", xs, env, PolicyRoundRobin)
+	k := &KernelSpec{Name: "k", Class: config.Vector, Dtype: config.FP32, FlopsPerItem: 1}
+	if _, err := p.Dispatch(0, k, 400*64, 64, 0); err != nil { // 400 workgroups
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if x.Stats().Workgroups == 0 {
+			t.Fatalf("healthy dispatch left xcd%d idle", i)
+		}
+	}
+	// Lose die 2 mid-run: the next dispatch must go to survivors only,
+	// and the survivors must absorb the dead die's share.
+	if err := p.SetXCDOnline(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.OnlineXCDs() != 3 || p.XCDOnline(2) {
+		t.Fatalf("OnlineXCDs = %d, XCDOnline(2) = %v", p.OnlineXCDs(), p.XCDOnline(2))
+	}
+	baseline := make([]uint64, 4)
+	for i, x := range xs {
+		baseline[i] = x.Stats().Workgroups
+	}
+	if _, err := p.Dispatch(0, k, 400*64, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := xs[2].Stats().Workgroups - baseline[2]; got != 0 {
+		t.Errorf("offline xcd2 executed %d workgroups", got)
+	}
+	var survivors uint64
+	for _, i := range []int{0, 1, 3} {
+		delta := xs[i].Stats().Workgroups - baseline[i]
+		if delta == 0 {
+			t.Errorf("survivor xcd%d received no redistributed work", i)
+		}
+		survivors += delta
+	}
+	if survivors != 400 {
+		t.Errorf("survivors executed %d workgroups, want all 400", survivors)
+	}
+	// Losing every die leaves nothing to run on: typed error.
+	for i := range xs {
+		p.SetXCDOnline(i, false)
+	}
+	if _, err := p.Dispatch(0, k, 64, 64, 0); !errors.Is(err, ErrNoCompute) {
+		t.Errorf("dispatch with all dies offline = %v, want ErrNoCompute", err)
+	}
+	if err := p.SetXCDOnline(9, false); err == nil {
+		t.Error("SetXCDOnline out of range should error")
+	}
 }

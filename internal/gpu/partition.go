@@ -1,11 +1,17 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/hsa"
 	"repro/internal/sim"
 )
+
+// ErrNoCompute reports that a dispatch found no XCD able to execute work:
+// every member die is either offline or has all CUs disabled. It is the
+// compute-side analogue of fabric.ErrPartitioned.
+var ErrNoCompute = errors.New("gpu: partition has no online XCD with enabled CUs")
 
 // Policy selects how a dispatch's workgroups are divided among the XCDs of
 // a partition. §VI.A: "The decision of which workgroups are scheduled into
@@ -39,6 +45,9 @@ type Partition struct {
 	Policy Policy
 	xcds   []*XCD
 	env    *ExecEnv
+	// offline marks member dies lost at runtime (RAS XCD-loss); parallel
+	// to xcds. Offline dies receive no work but keep their stats.
+	offline []bool
 
 	kernelsDone uint64
 }
@@ -51,17 +60,58 @@ func NewPartition(name string, xcds []*XCD, env *ExecEnv, policy Policy) *Partit
 	if env == nil {
 		env = &ExecEnv{}
 	}
-	return &Partition{Name: name, Policy: policy, xcds: xcds, env: env}
+	return &Partition{Name: name, Policy: policy, xcds: xcds, env: env, offline: make([]bool, len(xcds))}
 }
 
 // XCDs returns the member dies.
 func (p *Partition) XCDs() []*XCD { return p.xcds }
 
-// TotalCUs reports enabled CUs across the partition.
+// SetXCDOnline changes whether member die i (by position in the partition)
+// receives work. Taking a die offline mid-run models §IV.B-style loss at
+// runtime: subsequent dispatches redistribute across the survivors.
+func (p *Partition) SetXCDOnline(i int, online bool) error {
+	if i < 0 || i >= len(p.xcds) {
+		return fmt.Errorf("gpu: partition %s has no XCD at position %d", p.Name, i)
+	}
+	p.offline[i] = !online
+	return nil
+}
+
+// XCDOnline reports whether member die i receives work.
+func (p *Partition) XCDOnline(i int) bool {
+	return i >= 0 && i < len(p.xcds) && !p.offline[i]
+}
+
+// OnlineXCDs reports how many member dies currently receive work.
+func (p *Partition) OnlineXCDs() int {
+	n := 0
+	for i := range p.xcds {
+		if !p.offline[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// liveXCDs returns the positions of dies that can actually execute work:
+// online and with at least one enabled CU.
+func (p *Partition) liveXCDs() []int {
+	var live []int
+	for i, x := range p.xcds {
+		if !p.offline[i] && x.EnabledCUs() > 0 {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// TotalCUs reports enabled CUs across the online dies of the partition.
 func (p *Partition) TotalCUs() int {
 	var n int
-	for _, x := range p.xcds {
-		n += x.EnabledCUs()
+	for i, x := range p.xcds {
+		if !p.offline[i] {
+			n += x.EnabledCUs()
+		}
 	}
 	return n
 }
@@ -73,13 +123,16 @@ func (p *Partition) KernelsCompleted() uint64 { return p.kernelsDone }
 // ACE computes this same assignment independently — it "knows how many
 // XCDs are in the partition, so it knows that its XCD is only responsible
 // for executing a subset of the kernel's total workgroups" (§VI.A).
-func (p *Partition) assign(n int) [][]int {
+// assign divides work among the live dies only — when an XCD is lost at
+// runtime, the identical per-ACE computation lands the dead die's share on
+// the survivors.
+func (p *Partition) assign(n int, live []int) [][]int {
 	out := make([][]int, len(p.xcds))
 	switch p.Policy {
 	case PolicyBlock:
-		per := (n + len(p.xcds) - 1) / len(p.xcds)
-		for i := range p.xcds {
-			lo := i * per
+		per := (n + len(live) - 1) / len(live)
+		for li, i := range live {
+			lo := li * per
 			hi := lo + per
 			if hi > n {
 				hi = n
@@ -90,7 +143,7 @@ func (p *Partition) assign(n int) [][]int {
 		}
 	default: // PolicyRoundRobin
 		for wg := 0; wg < n; wg++ {
-			i := wg % len(p.xcds)
+			i := live[wg%len(live)]
 			out[i] = append(out[i], wg)
 		}
 	}
@@ -133,16 +186,21 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 		return now, err
 	}
 
+	live := p.liveXCDs()
+	if len(live) == 0 {
+		return now, fmt.Errorf("%w: cannot run %q", ErrNoCompute, pkt.KernelName)
+	}
 	nWG := pkt.Workgroups()
 	wgSize := pkt.Workgroup.Count()
-	assignment := p.assign(nWG)
+	assignment := p.assign(nWG, live)
 
-	// ① Every XCD's ACE reads and decodes the AQL packet.
+	// ① Every live XCD's ACE reads and decodes the AQL packet.
 	// ② Each sets up its local microarchitecture and launches its subset.
-	// ③④ Completion synchronization to the nominated XCD (index 0).
-	nominated := 0
+	// ③④ Completion synchronization to the nominated XCD (first live die).
+	nominated := live[0]
 	var kernelDone sim.Time
-	for i, x := range p.xcds {
+	for _, i := range live {
+		x := p.xcds[i]
 		decoded := x.decode(now)
 		subsetDone := x.executeWorkgroups(p.env, decoded, k, assignment[i], wgSize, pkt.KernargAddr)
 		// Each XCD signals "my waves completed, writes visible" to the

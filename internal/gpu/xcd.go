@@ -135,6 +135,46 @@ func (x *XCD) EnabledCUs() int {
 	return n
 }
 
+// DisabledCUs reports the indices of harvested/faulted CUs in ascending
+// order — the stable identity of the XCD's disabled set, used to check
+// harvesting determinism.
+func (x *XCD) DisabledCUs() []int {
+	var out []int
+	for _, c := range x.cus {
+		if c.Disabled {
+			out = append(out, c.Index)
+		}
+	}
+	return out
+}
+
+// DisableCU marks CU i unusable mid-run — a runtime fault rather than a
+// manufacturing harvest. In-flight work on the CU is allowed to drain (its
+// slot horizons stand); new placement simply skips it. It reports whether
+// the CU was newly disabled.
+func (x *XCD) DisableCU(i int) bool {
+	if i < 0 || i >= len(x.cus) || x.cus[i].Disabled {
+		return false
+	}
+	x.cus[i].Disabled = true
+	return true
+}
+
+// DisableRandomCUs disables up to n currently-enabled CUs chosen via rng
+// (which must not be nil), returning how many were actually disabled. The
+// draw sequence is deterministic for a given rng state.
+func (x *XCD) DisableRandomCUs(n int, rng *sim.RNG) int {
+	disabled := 0
+	for disabled < n && x.EnabledCUs() > 0 {
+		c := x.cus[rng.Intn(len(x.cus))]
+		if !c.Disabled {
+			c.Disabled = true
+			disabled++
+		}
+	}
+	return disabled
+}
+
 // CUs returns the CU list (including disabled ones).
 func (x *XCD) CUs() []*CU { return x.cus }
 

@@ -30,7 +30,16 @@ type Channel struct {
 	writes    uint64
 	rowHits   uint64
 	rowMisses uint64
+	retired   bool
+	eccEvents uint64
 }
+
+// Retired reports whether the channel has been mapped out by RAS.
+func (c *Channel) Retired() bool { return c.retired }
+
+// ECCEvents reports how many accesses on this channel hit an ECC error and
+// paid a correction-retry penalty.
+func (c *Channel) ECCEvents() uint64 { return c.eccEvents }
 
 // Occupy claims the channel for nbytes starting no earlier than start and
 // returns the completion time (no bank modeling; kept for flat devices).
@@ -96,6 +105,12 @@ type HBM struct {
 	Latency  sim.Time // row access latency added to every request
 	channels []*Channel
 	capacity int64
+
+	// ECC-storm model: each chunk independently hits a correctable error
+	// with probability eccRate and pays eccPenalty of retry latency.
+	eccRate    float64
+	eccPenalty sim.Time
+	eccRNG     *sim.RNG
 }
 
 // NewHBM builds a memory device: stacks × channelsPerStack channels, each
@@ -131,13 +146,83 @@ func (h *HBM) Channel(i int) *Channel {
 	return h.channels[i]
 }
 
-// PeakBW reports the aggregate peak bandwidth.
+// PeakBW reports the aggregate peak bandwidth of the live (non-retired)
+// channels.
 func (h *HBM) PeakBW() float64 {
 	var bw float64
 	for _, c := range h.channels {
-		bw += c.BW
+		if !c.retired {
+			bw += c.BW
+		}
 	}
 	return bw
+}
+
+// RetireChannel maps channel i out of service: subsequent accesses that
+// interleave onto it are redirected to the next live channel. Retiring the
+// last live channel is refused — a device with zero serviceable channels is
+// a dead package, not a degraded one.
+func (h *HBM) RetireChannel(i int) error {
+	if i < 0 || i >= len(h.channels) {
+		return fmt.Errorf("mem: channel %d out of range (%d channels)", i, len(h.channels))
+	}
+	if h.channels[i].retired {
+		return nil
+	}
+	if h.LiveChannels() == 1 {
+		return fmt.Errorf("mem: refusing to retire last live channel %d", i)
+	}
+	h.channels[i].retired = true
+	return nil
+}
+
+// RetiredChannels reports how many channels are mapped out.
+func (h *HBM) RetiredChannels() int {
+	n := 0
+	for _, c := range h.channels {
+		if c.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveChannels reports how many channels still serve traffic.
+func (h *HBM) LiveChannels() int { return len(h.channels) - h.RetiredChannels() }
+
+// liveChannel redirects a retired channel index to the next live channel,
+// scanning forward with wrap-around. The scan order is fixed, so the
+// redirection — like everything else in the model — is deterministic.
+func (h *HBM) liveChannel(ch int) int {
+	for range h.channels {
+		if !h.channels[ch].retired {
+			return ch
+		}
+		ch = (ch + 1) % len(h.channels)
+	}
+	return ch // unreachable while RetireChannel refuses the last live channel
+}
+
+// SetECCStorm configures the correctable-error model: each interleave chunk
+// independently pays penalty with probability rate, drawn from a dedicated
+// deterministic stream seeded with seed. rate = 0 disables the model.
+func (h *HBM) SetECCStorm(rate float64, penalty sim.Time, seed uint64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("mem: ECC rate %g outside [0, 1]", rate)
+	}
+	h.eccRate = rate
+	h.eccPenalty = penalty
+	h.eccRNG = sim.NewRNG(seed)
+	return nil
+}
+
+// ECCEvents reports total correctable-error retries across all channels.
+func (h *HBM) ECCEvents() uint64 {
+	var n uint64
+	for _, c := range h.channels {
+		n += c.eccEvents
+	}
+	return n
 }
 
 // Access serves a read or write of nbytes at addr starting at start. The
@@ -152,7 +237,16 @@ func (h *HBM) Access(start sim.Time, addr, nbytes int64, write bool) sim.Time {
 	end := start
 	pos := addr
 	h.Map.GranuleSpan(addr, nbytes, func(ch int, chunk int64) {
-		done := h.channels[ch].OccupyAt(start+h.Latency, pos, chunk, write)
+		ch = h.liveChannel(ch)
+		c := h.channels[ch]
+		done := c.OccupyAt(start+h.Latency, pos, chunk, write)
+		if h.eccRate > 0 && h.eccRNG != nil && h.eccRNG.Float64() < h.eccRate {
+			// A correctable error forces a retry: after the correction
+			// latency the chunk re-arbitrates for the channel and transfers
+			// again, consuming bandwidth as a real retry would.
+			c.eccEvents++
+			done = c.OccupyAt(done+h.eccPenalty, pos, chunk, write)
+		}
 		pos += chunk
 		if done > end {
 			end = done
@@ -178,7 +272,10 @@ func (h *HBM) AchievedBW(horizon sim.Time) float64 {
 	return float64(h.BytesMoved()) / horizon.Seconds()
 }
 
-// ResetStats clears occupancy, counters, and row-buffer state.
+// ResetStats clears occupancy, counters, and row-buffer state. RAS
+// configuration — channel retirement and the ECC-storm model — survives a
+// reset, so measurements taken after a fault stay degraded; only the event
+// counters restart.
 func (h *HBM) ResetStats() {
 	for _, c := range h.channels {
 		c.busyUntil = 0
@@ -188,6 +285,7 @@ func (h *HBM) ResetStats() {
 		c.rowHits = 0
 		c.rowMisses = 0
 		c.openRows = nil
+		c.eccEvents = 0
 	}
 }
 

@@ -323,6 +323,154 @@ func TestChannelMonotonicProperty(t *testing.T) {
 	}
 }
 
+func TestRetireChannelRedirects(t *testing.T) {
+	h := NewHBM("hbm", 1, 4, 4e12, 1<<30, 0)
+	// Find which channel addr 0 interleaves onto, then retire it.
+	victim := h.Map.Channel(0)
+	if err := h.RetireChannel(victim); err != nil {
+		t.Fatal(err)
+	}
+	if h.RetiredChannels() != 1 || h.LiveChannels() != 3 {
+		t.Fatalf("retired/live = %d/%d, want 1/3", h.RetiredChannels(), h.LiveChannels())
+	}
+	h.Access(0, 0, 4096, false)
+	if got := h.Channel(victim).BytesMoved(); got != 0 {
+		t.Errorf("retired channel served %d bytes, want 0", got)
+	}
+	want := (victim + 1) % 4
+	if got := h.Channel(want).BytesMoved(); got != 4096 {
+		t.Errorf("redirect target channel %d served %d bytes, want 4096", want, got)
+	}
+}
+
+func TestRetireChannelDeterministic(t *testing.T) {
+	dist := func() []uint64 {
+		h := NewHBM("hbm", 2, 4, 2e12, 1<<30, 0)
+		for _, ch := range []int{1, 4, 5} {
+			if err := h.RetireChannel(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for addr := int64(0); addr < 1<<22; addr += 4096 {
+			h.Access(0, addr, 4096, false)
+		}
+		var out []uint64
+		for _, c := range h.Channels() {
+			out = append(out, c.BytesMoved())
+		}
+		return out
+	}
+	a, b := dist(), dist()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("redirect distribution diverged at channel %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetireLastLiveChannelRefused(t *testing.T) {
+	h := NewHBM("hbm", 1, 2, 1e12, 1<<30, 0)
+	if err := h.RetireChannel(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RetireChannel(0); err != nil {
+		t.Errorf("re-retiring an already-retired channel should be a no-op, got %v", err)
+	}
+	if err := h.RetireChannel(1); err == nil {
+		t.Error("retiring the last live channel should be refused")
+	}
+	if err := h.RetireChannel(7); err == nil {
+		t.Error("out-of-range channel should be refused")
+	}
+}
+
+func TestRetirementDegradesBandwidth(t *testing.T) {
+	stream := func(retire int) float64 {
+		h := NewHBM("hbm", 8, 16, 5.3e12/8, 128<<30, 0)
+		for ch := 0; ch < retire; ch++ {
+			if err := h.RetireChannel(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var end sim.Time
+		const total = 1 << 28
+		for addr := int64(0); addr < total; addr += 65536 {
+			if done := h.Access(0, addr, 65536, false); done > end {
+				end = done
+			}
+		}
+		return float64(total) / end.Seconds()
+	}
+	healthy := stream(0)
+	degraded := stream(32) // a quarter of the channels mapped out
+	if !(degraded > 0 && degraded < healthy*0.9) {
+		t.Errorf("degraded BW %g not clearly below healthy %g", degraded, healthy)
+	}
+}
+
+func TestPeakBWExcludesRetired(t *testing.T) {
+	h := NewHBM("hbm", 1, 4, 4e12, 1<<30, 0)
+	if err := h.RetireChannel(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.PeakBW(); got != 3e12 {
+		t.Errorf("PeakBW with 1 of 4 retired = %g, want 3e12", got)
+	}
+}
+
+func TestECCStormAddsLatencyAndCounts(t *testing.T) {
+	h := NewHBM("hbm", 1, 1, 1e12, 1<<30, 0)
+	clean := h.Access(0, 0, 4096, false)
+	h.ResetStats()
+	if err := h.SetECCStorm(1.0, 500*sim.Nanosecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A retry pays the correction latency and then re-transfers the chunk.
+	stormy := h.Access(0, 0, 4096, false)
+	want := clean + 500*sim.Nanosecond + sim.FromSeconds(4096/1e12)
+	if stormy != want {
+		t.Errorf("ECC access at rate 1.0 = %v, want clean + 500ns + retransfer = %v", stormy, want)
+	}
+	if h.ECCEvents() != 1 {
+		t.Errorf("ECCEvents = %d, want 1", h.ECCEvents())
+	}
+	h.ResetStats()
+	if h.ECCEvents() != 0 {
+		t.Error("ResetStats did not clear ECC event counters")
+	}
+	// The storm configuration itself survives a stats reset.
+	if after := h.Access(0, 0, 4096, false); after <= clean {
+		t.Error("ECC storm configuration lost across ResetStats")
+	}
+	if err := h.SetECCStorm(1.5, 0, 1); err == nil {
+		t.Error("ECC rate > 1 should be rejected")
+	}
+}
+
+func TestECCStormDeterministic(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		h := NewHBM("hbm", 2, 8, 2e12, 1<<30, 0)
+		if err := h.SetECCStorm(0.01, 200*sim.Nanosecond, 99); err != nil {
+			t.Fatal(err)
+		}
+		var end sim.Time
+		for addr := int64(0); addr < 1<<24; addr += 4096 {
+			if done := h.Access(0, addr, 4096, false); done > end {
+				end = done
+			}
+		}
+		return h.ECCEvents(), end
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("same-seed ECC storms diverged: %d/%v vs %d/%v", e1, t1, e2, t2)
+	}
+	if e1 == 0 {
+		t.Error("0.01 rate over 4096 chunks produced no ECC events")
+	}
+}
+
 func BenchmarkHBMAccess(b *testing.B) {
 	h := NewHBM("hbm3", 8, 16, 5.3e12/8, 128<<30, 100*sim.Nanosecond)
 	b.ReportAllocs()

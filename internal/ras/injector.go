@@ -1,0 +1,190 @@
+package ras
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Targets names the model instances a plan injects into. Any field may be
+// nil; a fault whose target is absent is a plan error caught at Arm time,
+// not silently skipped.
+type Targets struct {
+	Net  *fabric.Network
+	HBM  *mem.HBM
+	XCDs []*gpu.XCD
+	GPU  *gpu.Partition
+}
+
+// Applied records one fault that has fired.
+type Applied struct {
+	Fault   Fault
+	At      sim.Time
+	Summary string
+}
+
+// Injector arms a Plan against concrete targets by scheduling one engine
+// event per fault. Faults take effect when the engine's clock reaches
+// their AtNS — measurements taken before advancing the engine see the
+// healthy machine, measurements after see the degraded one.
+type Injector struct {
+	plan    *Plan
+	rng     *sim.RNG
+	applied []Applied
+	// applyErrs collects faults that failed to apply (e.g. retiring the
+	// last live channel); surfaced through Errs.
+	applyErrs []error
+}
+
+// NewInjector prepares an injector for the plan, which must already be
+// valid (ParsePlan validates; hand-built plans should call Validate).
+func NewInjector(plan *Plan) *Injector {
+	return &Injector{plan: plan, rng: sim.NewRNG(plan.Seed)}
+}
+
+// Arm validates the plan's faults against the targets and schedules them
+// on eng, earliest first. It returns the number of events scheduled. After
+// Arm, advancing the engine past a fault's time applies it; faults the
+// engine never reaches never fire.
+func (in *Injector) Arm(eng *sim.Engine, t Targets) (int, error) {
+	faults := append([]Fault(nil), in.plan.Faults...)
+	// Stable sort by time so equal-time faults keep plan order.
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].AtNS < faults[j].AtNS })
+	for i, f := range faults {
+		if err := in.check(f, t); err != nil {
+			return 0, fmt.Errorf("ras: fault %d: %w", i, err)
+		}
+	}
+	// Every fault forks its own RNG stream up front, in schedule order:
+	// the draws a fault makes cannot shift an unrelated fault's stream,
+	// and arming is deterministic even though faults fire lazily.
+	for i, f := range faults {
+		f := f
+		rng := in.rng.Fork(uint64(i))
+		at := sim.FromSeconds(f.AtNS * 1e-9)
+		if at < eng.Now() {
+			at = eng.Now()
+		}
+		eng.Schedule(at, func(now sim.Time) {
+			in.apply(f, t, rng, now)
+		})
+	}
+	return len(faults), nil
+}
+
+// check verifies a fault's target exists before anything is scheduled.
+func (in *Injector) check(f Fault, t Targets) error {
+	switch f.Kind {
+	case FaultLinkDown, FaultLinkDerate:
+		if t.Net == nil {
+			return fmt.Errorf("%s without a fabric target", f.Kind)
+		}
+		for _, name := range []string{f.A, f.B} {
+			if t.Net.NodeByName(name) == nil {
+				return fmt.Errorf("%s: unknown fabric node %q", f.Kind, name)
+			}
+		}
+	case FaultChannelRetire, FaultECCStorm:
+		if t.HBM == nil {
+			return fmt.Errorf("%s without an HBM target", f.Kind)
+		}
+		if f.Kind == FaultChannelRetire && f.Count == 0 && f.Channel >= len(t.HBM.Channels()) {
+			return fmt.Errorf("channel %d out of range (%d channels)", f.Channel, len(t.HBM.Channels()))
+		}
+	case FaultCULoss:
+		if f.XCD >= len(t.XCDs) {
+			return fmt.Errorf("cu-loss: no XCD %d among %d targets", f.XCD, len(t.XCDs))
+		}
+	case FaultXCDLoss:
+		if t.GPU == nil {
+			return fmt.Errorf("xcd-loss without a partition target")
+		}
+		if f.XCD >= len(t.GPU.XCDs()) {
+			return fmt.Errorf("xcd-loss: partition has no position %d", f.XCD)
+		}
+	}
+	return nil
+}
+
+// apply executes one fault when its engine event fires.
+func (in *Injector) apply(f Fault, t Targets, rng *sim.RNG, now sim.Time) {
+	var err error
+	switch f.Kind {
+	case FaultLinkDown:
+		err = in.setLinks(t.Net, f, fabric.LinkDown, 0)
+	case FaultLinkDerate:
+		err = in.setLinks(t.Net, f, fabric.LinkDerated, f.Derate)
+	case FaultChannelRetire:
+		if f.Count > 0 {
+			err = retireRandom(t.HBM, f.Count, rng)
+		} else {
+			err = t.HBM.RetireChannel(f.Channel)
+		}
+	case FaultECCStorm:
+		err = t.HBM.SetECCStorm(f.Rate, sim.FromSeconds(f.PenaltyNS*1e-9), rng.Uint64())
+	case FaultCULoss:
+		got := t.XCDs[f.XCD].DisableRandomCUs(f.Count, rng)
+		if got < f.Count {
+			err = fmt.Errorf("only %d of %d CUs left to disable on xcd%d", got, f.Count, f.XCD)
+		}
+	case FaultXCDLoss:
+		err = t.GPU.SetXCDOnline(f.XCD, false)
+	}
+	if err != nil {
+		in.applyErrs = append(in.applyErrs, fmt.Errorf("ras: applying %s: %w", f.describe(), err))
+		return
+	}
+	in.applied = append(in.applied, Applied{Fault: f, At: now, Summary: f.describe()})
+}
+
+// setLinks fails or derates every link between the fault's two nodes.
+func (in *Injector) setLinks(net *fabric.Network, f Fault, state fabric.LinkState, derate float64) error {
+	a, b := net.NodeByName(f.A), net.NodeByName(f.B)
+	changed, err := net.SetLinkStateBetween(a.ID, b.ID, state, derate)
+	if err != nil {
+		return err
+	}
+	if changed == 0 {
+		return fmt.Errorf("no links between %s and %s", f.A, f.B)
+	}
+	return nil
+}
+
+// retireRandom retires n live channels chosen from the seeded stream.
+func retireRandom(h *mem.HBM, n int, rng *sim.RNG) error {
+	for retired := 0; retired < n; {
+		ch := rng.Intn(len(h.Channels()))
+		if h.Channel(ch).Retired() {
+			continue
+		}
+		if err := h.RetireChannel(ch); err != nil {
+			return err
+		}
+		retired++
+	}
+	return nil
+}
+
+// Applied returns the faults that have fired so far, in firing order.
+func (in *Injector) Applied() []Applied {
+	return append([]Applied(nil), in.applied...)
+}
+
+// Summaries returns the fired faults' one-line descriptions, for
+// runner.Ctx.RecordFault and the run manifest.
+func (in *Injector) Summaries() []string {
+	out := make([]string, len(in.applied))
+	for i, a := range in.applied {
+		out[i] = a.Summary
+	}
+	return out
+}
+
+// Errs returns faults that fired but could not be applied.
+func (in *Injector) Errs() []error {
+	return append([]error(nil), in.applyErrs...)
+}

@@ -1,0 +1,181 @@
+// Package ras implements deterministic, seed-driven fault injection for
+// the simulated MI300 platform — the RAS ("reliability, availability,
+// serviceability") counterpart to the healthy-machine models.
+//
+// A FaultPlan is a declarative schedule of fault events: which fault kind,
+// where, and when on the sim.Engine timeline. An Injector arms a plan
+// against a set of targets (fabric network, HBM device, XCDs, GPU
+// partition) by scheduling one engine event per fault. Every random choice
+// — which channel to retire, which CUs to lose, the ECC draw stream — comes
+// from sim.RNG streams forked from the plan's seed, so identical plans
+// yield byte-identical degraded runs.
+//
+// The fault taxonomy follows the failure modes the paper's platform must
+// survive in the field: Infinity Fabric link loss and derating (§IV.A's USR
+// crossings are the links that fail first at scale), HBM channel retirement
+// and correctable-error storms (§IV.D's 128-channel interleave gives the
+// hardware somewhere to steer traffic), and CU/XCD loss extending the
+// §IV.B yield-harvesting story from manufacturing time to runtime.
+package ras
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// FaultKind names one class of injectable fault.
+type FaultKind string
+
+// The fault taxonomy.
+const (
+	// FaultLinkDown kills every fabric link between nodes A and B (both
+	// directions); routing must go around or report ErrPartitioned.
+	FaultLinkDown FaultKind = "link-down"
+	// FaultLinkDerate reduces the links between A and B to Derate of
+	// nominal bandwidth.
+	FaultLinkDerate FaultKind = "link-derate"
+	// FaultChannelRetire maps HBM channels out of service: Count > 0
+	// retires that many channels chosen from the seeded stream; otherwise
+	// the specific Channel is retired.
+	FaultChannelRetire FaultKind = "hbm-channel-retire"
+	// FaultECCStorm turns on the correctable-error model: each access
+	// chunk pays PenaltyNS with probability Rate.
+	FaultECCStorm FaultKind = "ecc-storm"
+	// FaultCULoss disables Count CUs on XCD (chosen from the seeded
+	// stream), extending §IV.B harvesting to runtime.
+	FaultCULoss FaultKind = "cu-loss"
+	// FaultXCDLoss takes the partition member at position XCD offline;
+	// subsequent dispatches redistribute across the survivors.
+	FaultXCDLoss FaultKind = "xcd-loss"
+)
+
+// Fault is one scheduled fault event.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// AtNS is when the fault fires on the engine timeline, in nanoseconds.
+	AtNS float64 `json:"at_ns"`
+
+	// A and B name the fabric nodes whose links fail (link faults).
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// Derate is the surviving bandwidth fraction for link-derate, (0, 1).
+	Derate float64 `json:"derate,omitempty"`
+
+	// Channel selects a specific HBM channel to retire, used when Count
+	// is zero (an omitted channel decodes to 0, so Count > 0 wins).
+	Channel int `json:"channel,omitempty"`
+	// Count sizes seeded-random selections: channels to retire, CUs to
+	// lose. For channel-retire it takes precedence over Channel.
+	Count int `json:"count,omitempty"`
+
+	// Rate is the per-chunk correctable-error probability for ecc-storm.
+	Rate float64 `json:"rate,omitempty"`
+	// PenaltyNS is the per-event retry latency for ecc-storm.
+	PenaltyNS float64 `json:"penalty_ns,omitempty"`
+
+	// XCD is the partition position for xcd-loss, or the XCD index for
+	// cu-loss.
+	XCD int `json:"xcd,omitempty"`
+}
+
+// describe renders the fault for logs and manifests.
+func (f Fault) describe() string {
+	var what string
+	switch f.Kind {
+	case FaultLinkDown:
+		what = fmt.Sprintf("%s<->%s down", f.A, f.B)
+	case FaultLinkDerate:
+		what = fmt.Sprintf("%s<->%s derated to %.2f", f.A, f.B, f.Derate)
+	case FaultChannelRetire:
+		if f.Count > 0 {
+			what = fmt.Sprintf("retire %d channels", f.Count)
+		} else {
+			what = fmt.Sprintf("retire channel %d", f.Channel)
+		}
+	case FaultECCStorm:
+		what = fmt.Sprintf("ECC storm rate %g penalty %gns", f.Rate, f.PenaltyNS)
+	case FaultCULoss:
+		what = fmt.Sprintf("lose %d CUs on xcd%d", f.Count, f.XCD)
+	case FaultXCDLoss:
+		what = fmt.Sprintf("xcd position %d offline", f.XCD)
+	default:
+		what = "?"
+	}
+	return fmt.Sprintf("%s: %s at %gns", f.Kind, what, f.AtNS)
+}
+
+// Plan is a deterministic fault schedule. The zero Seed is valid (sim.RNG
+// remaps it); two runs armed with equal plans behave identically.
+type Plan struct {
+	// Seed drives every random choice the plan's faults make.
+	Seed uint64 `json:"seed"`
+	// Faults fire in AtNS order regardless of their order here.
+	Faults []Fault `json:"faults"`
+}
+
+// ParsePlan decodes a JSON fault plan and validates it. Unknown fields are
+// rejected so a typo'd plan fails loudly instead of injecting nothing.
+func ParsePlan(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("ras: parsing fault plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks every fault for structural problems: unknown kinds,
+// negative times, out-of-range rates, and missing operands.
+func (p *Plan) Validate() error {
+	if len(p.Faults) == 0 {
+		return fmt.Errorf("ras: fault plan has no faults")
+	}
+	for i, f := range p.Faults {
+		if f.AtNS < 0 {
+			return fmt.Errorf("ras: fault %d (%s) at negative time %g", i, f.Kind, f.AtNS)
+		}
+		switch f.Kind {
+		case FaultLinkDown:
+			if f.A == "" || f.B == "" {
+				return fmt.Errorf("ras: fault %d: link-down needs node names a and b", i)
+			}
+		case FaultLinkDerate:
+			if f.A == "" || f.B == "" {
+				return fmt.Errorf("ras: fault %d: link-derate needs node names a and b", i)
+			}
+			if f.Derate <= 0 || f.Derate >= 1 {
+				return fmt.Errorf("ras: fault %d: derate %g outside (0, 1)", i, f.Derate)
+			}
+		case FaultChannelRetire:
+			if f.Count <= 0 && f.Channel < 0 {
+				return fmt.Errorf("ras: fault %d: channel-retire needs count > 0 or channel >= 0", i)
+			}
+		case FaultECCStorm:
+			if f.Rate < 0 || f.Rate > 1 {
+				return fmt.Errorf("ras: fault %d: ECC rate %g outside [0, 1]", i, f.Rate)
+			}
+			if f.PenaltyNS < 0 {
+				return fmt.Errorf("ras: fault %d: negative ECC penalty %g", i, f.PenaltyNS)
+			}
+		case FaultCULoss:
+			if f.Count <= 0 {
+				return fmt.Errorf("ras: fault %d: cu-loss needs count > 0", i)
+			}
+			if f.XCD < 0 {
+				return fmt.Errorf("ras: fault %d: cu-loss needs xcd >= 0", i)
+			}
+		case FaultXCDLoss:
+			if f.XCD < 0 {
+				return fmt.Errorf("ras: fault %d: xcd-loss needs xcd >= 0", i)
+			}
+		default:
+			return fmt.Errorf("ras: fault %d: unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,10 +17,14 @@ type Status string
 
 // Run statuses.
 const (
-	StatusOK      Status = "ok"
-	StatusError   Status = "error"
-	StatusPanic   Status = "panic"
-	StatusTimeout Status = "timeout"
+	StatusOK    Status = "ok"
+	StatusError Status = "error"
+	StatusPanic Status = "panic"
+	// StatusDegraded marks a run that completed — produced output, drained
+	// its engine — while operating under injected faults. It is distinct
+	// from failure: a degraded suite still passes.
+	StatusDegraded Status = "degraded"
+	StatusTimeout  Status = "timeout"
 )
 
 // Result is the outcome of one experiment run.
@@ -43,10 +48,15 @@ type Result struct {
 	EventsPending int
 	// Milestones are the progress markers the run recorded.
 	Milestones []string
+	// Attempts is how many times the experiment ran (1 + retries used).
+	Attempts int
+	// Faults are the injected-fault summaries recorded via Ctx.RecordFault.
+	Faults []string
 }
 
-// Failed reports whether the run ended abnormally.
-func (r Result) Failed() bool { return r.Status != StatusOK }
+// Failed reports whether the run ended abnormally. A degraded run is not a
+// failure: it completed under injected faults and produced output.
+func (r Result) Failed() bool { return r.Status != StatusOK && r.Status != StatusDegraded }
 
 // Options configures a suite run.
 type Options struct {
@@ -54,6 +64,11 @@ type Options struct {
 	Parallel int
 	// Timeout is the per-experiment wall-clock deadline; 0 disables it.
 	Timeout time.Duration
+	// Retries is how many additional attempts a failed experiment gets.
+	// Each attempt runs on a fresh context and engine — no state leaks
+	// from a failed attempt into its successor. The final attempt's result
+	// is reported, with Attempts recording how many ran.
+	Retries int
 	// IDs restricts the run to a subset (still in registration order);
 	// nil runs everything.
 	IDs []string
@@ -86,6 +101,18 @@ func (s *SuiteResult) Failed() []Result {
 // OK reports whether every experiment completed normally.
 func (s *SuiteResult) OK() bool { return len(s.Failed()) == 0 }
 
+// Degraded returns the results that completed under injected faults, in
+// registration order.
+func (s *SuiteResult) Degraded() []Result {
+	var d []Result
+	for _, r := range s.Results {
+		if r.Status == StatusDegraded {
+			d = append(d, r)
+		}
+	}
+	return d
+}
+
 // WriteOutputs writes each successful experiment's output block, in
 // registration order, in the exact format the sequential cmd/repro
 // always used. Failed experiments still get their header, followed by a
@@ -108,6 +135,11 @@ func WriteResult(w io.Writer, r Result) error {
 	if r.Failed() {
 		_, err := fmt.Fprintf(w, "FAILED (%s): %v\n", r.Status, r.Err)
 		return err
+	}
+	if r.Status == StatusDegraded {
+		if _, err := fmt.Fprintf(w, "DEGRADED (%d faults): %s\n", len(r.Faults), strings.Join(r.Faults, "; ")); err != nil {
+			return err
+		}
 	}
 	_, err := io.WriteString(w, r.Output)
 	return err
@@ -162,7 +194,7 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(exps[i], opts.Timeout)
+				results[i] = runOne(exps[i], opts.Timeout, opts.Retries)
 				close(ready[i])
 			}
 		}()
@@ -192,11 +224,31 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 	}, nil
 }
 
-// runOne executes a single experiment with panic recovery and an
-// optional wall-clock deadline. The run happens on a fresh goroutine so
+// runOne executes a single experiment with panic recovery, an optional
+// wall-clock deadline, and up to retries additional attempts on failure.
+// Every attempt runs on a completely fresh context and engine, so a
+// crashed attempt cannot poison its successor; the final attempt's result
+// is returned with Attempts counting how many ran.
+func runOne(e Experiment, timeout time.Duration, retries int) Result {
+	if retries < 0 {
+		retries = 0
+	}
+	var res Result
+	for attempt := 1; attempt <= retries+1; attempt++ {
+		res = runAttempt(e, timeout)
+		res.Attempts = attempt
+		if !res.Failed() {
+			break
+		}
+	}
+	return res
+}
+
+// runAttempt executes one attempt of an experiment with panic recovery and
+// an optional wall-clock deadline. The run happens on a fresh goroutine so
 // a deadline can abandon it; an abandoned run keeps its private engine
 // and context, so there is no shared state to race on.
-func runOne(e Experiment, timeout time.Duration) Result {
+func runAttempt(e Experiment, timeout time.Duration) Result {
 	done := make(chan Result, 1)
 	go func() {
 		ctx := newCtx(e.ID)
@@ -216,6 +268,7 @@ func runOne(e Experiment, timeout time.Duration) Result {
 			res.EventsFired = ctx.eng.Fired()
 			res.EventsPending = ctx.eng.Pending()
 			res.Milestones = ctx.Milestones()
+			res.Faults = ctx.Faults()
 			done <- res
 		}()
 		ctx.Milestone("start")
@@ -226,6 +279,9 @@ func runOne(e Experiment, timeout time.Duration) Result {
 			return
 		}
 		res.Output = out
+		if ctx.Degraded() {
+			res.Status = StatusDegraded
+		}
 		ctx.Milestone("done")
 		ctx.eng.Cancel(sentinel)
 		ctx.eng.RunAll() // reap the cancelled sentinel: a clean run drains

@@ -23,8 +23,11 @@ type Manifest struct {
 
 // SuiteSummary aggregates the whole run.
 type SuiteSummary struct {
-	Total     int     `json:"total"`
-	OK        int     `json:"ok"`
+	Total int `json:"total"`
+	OK    int `json:"ok"`
+	// Degraded counts runs that completed under injected faults — they do
+	// not count toward Failed.
+	Degraded  int     `json:"degraded,omitempty"`
 	Failed    int     `json:"failed"`
 	Parallel  int     `json:"parallel"`
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
@@ -45,6 +48,11 @@ type ExperimentRecord struct {
 	EventsFired   uint64   `json:"events_fired"`
 	EventsPending int      `json:"events_pending"`
 	Milestones    []string `json:"milestones,omitempty"`
+	// Attempts is how many times the experiment ran (1 unless -retries
+	// rescued a failing run).
+	Attempts int `json:"attempts,omitempty"`
+	// Faults are the injected-fault summaries the run recorded.
+	Faults []string `json:"faults,omitempty"`
 }
 
 // BuildManifest converts a suite result into its manifest form.
@@ -53,13 +61,14 @@ func BuildManifest(s *SuiteResult) *Manifest {
 		Schema: ManifestSchema,
 		Suite: SuiteSummary{
 			Total:    len(s.Results),
+			Degraded: len(s.Degraded()),
 			Failed:   len(s.Failed()),
 			Parallel: s.Parallel,
 			WallMS:   s.Wall.Seconds() * 1e3,
 			Table:    s.SummaryTable().String(),
 		},
 	}
-	m.Suite.OK = m.Suite.Total - m.Suite.Failed
+	m.Suite.OK = m.Suite.Total - m.Suite.Failed - m.Suite.Degraded
 	if s.Timeout > 0 {
 		m.Suite.TimeoutMS = s.Timeout.Seconds() * 1e3
 	}
@@ -73,6 +82,8 @@ func BuildManifest(s *SuiteResult) *Manifest {
 			EventsFired:   r.EventsFired,
 			EventsPending: r.EventsPending,
 			Milestones:    r.Milestones,
+			Attempts:      r.Attempts,
+			Faults:        r.Faults,
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -93,16 +104,16 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 // with a wall-time distribution footer row.
 func (s *SuiteResult) SummaryTable() *metrics.Table {
 	t := metrics.NewTable(
-		fmt.Sprintf("suite summary: %d experiments, %d failed, parallel %d, wall %.0f ms",
-			len(s.Results), len(s.Failed()), s.Parallel, s.Wall.Seconds()*1e3),
-		"id", "status", "wall ms", "fired", "pending", "bytes")
+		fmt.Sprintf("suite summary: %d experiments, %d failed, %d degraded, parallel %d, wall %.0f ms",
+			len(s.Results), len(s.Failed()), len(s.Degraded()), s.Parallel, s.Wall.Seconds()*1e3),
+		"id", "status", "attempts", "wall ms", "fired", "pending", "bytes")
 	wall := metrics.NewDistribution("wall ms")
 	for _, r := range s.Results {
-		t.AddRowf(r.ID, string(r.Status), r.Wall.Seconds()*1e3,
+		t.AddRowf(r.ID, string(r.Status), r.Attempts, r.Wall.Seconds()*1e3,
 			int(r.EventsFired), r.EventsPending, len(r.Output))
 		wall.Observe(r.Wall.Seconds() * 1e3)
 	}
-	t.AddRowf("(wall)", "-",
+	t.AddRowf("(wall)", "-", "-",
 		fmt.Sprintf("min %s / mean %s / max %s",
 			metrics.FormatFloat(wall.Min()),
 			metrics.FormatFloat(wall.Mean()),

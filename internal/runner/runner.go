@@ -34,6 +34,8 @@ type Ctx struct {
 
 	mu         sync.Mutex
 	milestones []string
+	faults     []string
+	degraded   bool
 }
 
 func newCtx(id string) *Ctx {
@@ -66,6 +68,38 @@ func (c *Ctx) Milestones() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]string(nil), c.milestones...)
+}
+
+// RecordFault notes an injected-fault summary (e.g. "link-down IOD-A<->IOD-B
+// at 1µs"). The summaries land in the run's Result and manifest record, so
+// a degraded run documents exactly what was done to it.
+func (c *Ctx) RecordFault(summary string) {
+	c.mu.Lock()
+	c.faults = append(c.faults, summary)
+	c.mu.Unlock()
+}
+
+// Faults returns the injected-fault summaries recorded so far.
+func (c *Ctx) Faults() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.faults...)
+}
+
+// MarkDegraded flags the run as having completed under injected faults:
+// the result reports StatusDegraded instead of StatusOK, which is distinct
+// from failure — output is still produced and the suite still passes.
+func (c *Ctx) MarkDegraded() {
+	c.mu.Lock()
+	c.degraded = true
+	c.mu.Unlock()
+}
+
+// Degraded reports whether MarkDegraded was called.
+func (c *Ctx) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 // RunFunc produces an experiment's printable output.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -323,6 +324,140 @@ func TestSummaryTableShape(t *testing.T) {
 		if !strings.Contains(out, id) {
 			t.Errorf("summary missing %s", id)
 		}
+	}
+}
+
+// Satellite: retry semantics. A panicking-then-succeeding experiment must
+// succeed on attempt 2 with the manifest recording attempts: 2, and retried
+// suites must keep registration-order deterministic stdout.
+func TestRetryRescuesPanickingExperiment(t *testing.T) {
+	r := testRegistry()
+	var calls int32
+	r.MustRegister(Experiment{
+		ID: "flaky", Desc: "panics once, then succeeds",
+		Run: func(*Ctx) (string, error) {
+			if atomic.AddInt32(&calls, 1) == 1 {
+				panic("transient crash")
+			}
+			return "recovered output\n", nil
+		},
+	})
+	render := func(parallel int) (string, *SuiteResult) {
+		atomic.StoreInt32(&calls, 0)
+		s, err := r.RunSuite(Options{Parallel: parallel, Retries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := s.WriteOutputs(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), s
+	}
+	out, s := render(1)
+	if !s.OK() {
+		t.Fatalf("suite failed despite retry: %+v", s.Failed())
+	}
+	var flaky Result
+	for _, res := range s.Results {
+		if res.ID == "flaky" {
+			flaky = res
+		} else if res.Attempts != 1 {
+			t.Errorf("%s attempts = %d, want 1", res.ID, res.Attempts)
+		}
+	}
+	if flaky.Status != StatusOK || flaky.Attempts != 2 {
+		t.Fatalf("flaky = status %s attempts %d, want ok/2", flaky.Status, flaky.Attempts)
+	}
+	if flaky.Output != "recovered output\n" {
+		t.Errorf("flaky output = %q", flaky.Output)
+	}
+	m := BuildManifest(s)
+	for _, rec := range m.Experiments {
+		if rec.ID == "flaky" && rec.Attempts != 2 {
+			t.Errorf("manifest attempts = %d, want 2", rec.Attempts)
+		}
+	}
+	// Registration-order deterministic stdout survives retries at any
+	// parallelism.
+	for _, p := range []int{2, 8} {
+		if got, _ := render(p); got != out {
+			t.Fatalf("parallel %d retried output differs:\n%q\nvs\n%q", p, got, out)
+		}
+	}
+}
+
+func TestRetriesExhaustedKeepsFailure(t *testing.T) {
+	r := NewRegistry()
+	var calls int32
+	r.MustRegister(Experiment{
+		ID: "alwaysbad", Desc: "fails every attempt",
+		Run: func(*Ctx) (string, error) {
+			atomic.AddInt32(&calls, 1)
+			return "", errors.New("permanent failure")
+		},
+	})
+	s, err := r.RunSuite(Options{Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Results[0]
+	if res.Status != StatusError || res.Attempts != 3 {
+		t.Errorf("result = status %s attempts %d, want error/3", res.Status, res.Attempts)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Errorf("run function called %d times, want 3", got)
+	}
+}
+
+func TestDegradedDistinctFromFailed(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Experiment{
+		ID: "deg", Desc: "completes under injected faults",
+		Run: func(ctx *Ctx) (string, error) {
+			ctx.RecordFault("link-down IOD-A<->IOD-B at 1µs")
+			ctx.RecordFault("hbm-channel-retire ch3 at 2µs")
+			ctx.MarkDegraded()
+			return "degraded but complete\n", nil
+		},
+	})
+	s, err := r.RunSuite(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Results[0]
+	if res.Status != StatusDegraded {
+		t.Fatalf("status = %s, want degraded", res.Status)
+	}
+	if res.Failed() {
+		t.Error("degraded result reported as failed")
+	}
+	if !s.OK() {
+		t.Error("suite with only a degraded run should still be OK")
+	}
+	if len(s.Degraded()) != 1 {
+		t.Errorf("Degraded() = %d results, want 1", len(s.Degraded()))
+	}
+	if len(res.Faults) != 2 || !strings.Contains(res.Faults[0], "link-down") {
+		t.Errorf("faults = %v", res.Faults)
+	}
+	// The degraded run drains its engine like a clean one.
+	if res.EventsPending != 0 {
+		t.Errorf("degraded run pending = %d, want 0", res.EventsPending)
+	}
+	m := BuildManifest(s)
+	if m.Suite.Degraded != 1 || m.Suite.Failed != 0 || m.Suite.OK != 0 {
+		t.Errorf("suite summary = %+v, want 1 degraded / 0 failed / 0 ok", m.Suite)
+	}
+	if len(m.Experiments[0].Faults) != 2 {
+		t.Errorf("manifest faults = %v", m.Experiments[0].Faults)
+	}
+	var b bytes.Buffer
+	if err := s.WriteOutputs(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "DEGRADED (2 faults)") || !strings.Contains(b.String(), "degraded but complete") {
+		t.Errorf("degraded output block = %q", b.String())
 	}
 }
 

@@ -218,9 +218,12 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or the next event would occur
 // after the deadline. It returns the number of events fired. Events exactly
-// at the deadline are executed. On return, Now is advanced to the deadline
-// if the queue drained earlier (so back-to-back Run calls compose), except
-// when deadline is Forever, in which case Now rests at the last event time.
+// at the deadline are executed — except events scheduled at Forever, which
+// never fire: Forever is a sentinel time ("no deadline"), and an event
+// parked there stays pending through any Run, including RunAll. On return,
+// Now is advanced to the deadline if the queue drained earlier (so
+// back-to-back Run calls compose), except when deadline is Forever, in
+// which case Now rests at the last event time.
 func (e *Engine) Run(deadline Time) uint64 {
 	var n uint64
 	for len(e.queue) > 0 {
@@ -230,7 +233,7 @@ func (e *Engine) Run(deadline Time) uint64 {
 			heap.Pop(&e.queue)
 			continue
 		}
-		if ev.at > deadline {
+		if ev.at > deadline || ev.at == Forever {
 			break
 		}
 		e.Step()

@@ -76,6 +76,38 @@ func TestEngineRunDeadline(t *testing.T) {
 	}
 }
 
+// TestEngineForeverSentinelNeverFires pins the sentinel contract the
+// runner depends on: an event parked at Forever stays pending through
+// RunAll (and does not drag Now out to infinity), so an experiment that
+// drains its own engine mid-run cannot fire the runner's completion
+// sentinel early.
+func TestEngineForeverSentinelNeverFires(t *testing.T) {
+	e := NewEngine()
+	var sentinelFired bool
+	id := e.Schedule(Forever, func(Time) { sentinelFired = true })
+	var fired int
+	e.Schedule(10, func(Time) { fired++ })
+	e.RunAll()
+	if sentinelFired {
+		t.Fatal("event at Forever fired during RunAll")
+	}
+	if fired != 1 {
+		t.Errorf("finite event fired %d times, want 1", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v after RunAll, want 10 (last finite event)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want the sentinel still queued", e.Pending())
+	}
+	// Cancelling the sentinel lets the queue drain as before.
+	e.Cancel(id)
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after cancelling sentinel, want 0", e.Pending())
+	}
+}
+
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	var fired bool
@@ -324,6 +356,35 @@ func TestRNGDeterminism(t *testing.T) {
 		if a.Uint64() != b.Uint64() {
 			t.Fatal("same seed diverged")
 		}
+	}
+}
+
+func TestRNGForkDeterministicAndDecorrelated(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	fa, fb := a.Fork(1), b.Fork(1)
+	for i := 0; i < 100; i++ {
+		if fa.Uint64() != fb.Uint64() {
+			t.Fatal("same-seed same-salt forks diverged")
+		}
+	}
+	// Different salts from the same parent state give different streams.
+	c, d := NewRNG(42), NewRNG(42)
+	fc, fd := c.Fork(1), d.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if fc.Uint64() == fd.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different-salt forks collided %d/100 draws", same)
+	}
+	// Forking advances the parent exactly one draw.
+	p1, p2 := NewRNG(7), NewRNG(7)
+	p1.Fork(0)
+	p2.Uint64()
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Fork did not consume exactly one parent draw")
 	}
 }
 

@@ -16,6 +16,14 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Fork derives an independent generator from r, consuming one draw from r.
+// Distinct salts give decorrelated streams, so subsystems (e.g. individual
+// fault injectors) can each own a stream whose sequence does not shift when
+// an unrelated subsystem draws more or fewer values.
+func (r *RNG) Fork(salt uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (salt+1)*0x9E3779B97F4A7C15)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -25,6 +25,7 @@ func Experiments() *runner.Registry {
 		registerCoreExperiments(registry)  // experiments.go: Tables 1-x, Figs. 7-21
 		registerExtraExperiments(registry) // experiments_extra.go: design ablations
 		registerQoSExperiments(registry)   // experiments_qos.go: scaling/QoS/efficiency
+		registerRASExperiments(registry)   // experiments_ras.go: fault injection
 	})
 	return registry
 }
