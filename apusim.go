@@ -81,26 +81,28 @@ const (
 
 // NewMI300A builds the MI300A APU platform (§IV): 228 CUs across six
 // XCDs, 24 "Zen 4" cores across three CCDs, 128 GB of unified HBM3 behind
-// a 256 MB Infinity Cache, all on four USR-meshed IODs.
-func NewMI300A() (*Platform, error) { return core.NewPlatform(config.MI300A()) }
+// a 256 MB Infinity Cache, all on four USR-meshed IODs. Options (e.g.
+// WithTelemetry) are accepted by New; this and the other product
+// constructors are its no-option spellings.
+func NewMI300A() (*Platform, error) { return New(config.MI300A()) }
 
 // NewMI300X builds the MI300X accelerator platform (§VII): the CCDs
 // swapped for two more XCDs (304 CUs) and 192 GB of HBM3, hosted over
 // PCIe.
-func NewMI300X() (*Platform, error) { return core.NewPlatform(config.MI300X()) }
+func NewMI300X() (*Platform, error) { return New(config.MI300X()) }
 
 // NewMI250X builds the previous-generation MI250X accelerator: two CDNA 2
 // GCDs presented as separate devices with 128 GB of HBM2e, discrete from
 // its EPYC host.
-func NewMI250X() (*Platform, error) { return core.NewPlatform(config.MI250X()) }
+func NewMI250X() (*Platform, error) { return New(config.MI250X()) }
 
 // NewEHPv4 builds the EHPv4 research concept (§II-III): the APU that was
 // almost built for Frontier, including its documented shortcomings.
-func NewEHPv4() (*Platform, error) { return core.NewPlatform(config.EHPv4()) }
+func NewEHPv4() (*Platform, error) { return New(config.EHPv4()) }
 
 // NewBaselineGPU builds the H100-class baseline used in the Fig. 21
 // inference comparison.
-func NewBaselineGPU() (*Platform, error) { return core.NewPlatform(config.BaselineGPU()) }
+func NewBaselineGPU() (*Platform, error) { return New(config.BaselineGPU()) }
 
 // SpecMI300A returns the MI300A product configuration.
 func SpecMI300A() *PlatformSpec { return config.MI300A() }

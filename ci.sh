@@ -33,4 +33,28 @@ if go run ./cmd/repro -faults cmd/repro/testdata/faults-partition.json >/dev/nul
     exit 1
 fi
 
+echo "== telemetry smoke =="
+# A sampled run must emit a parseable series file that names a known
+# probe and carries the pinned schema versions.
+tmp_telemetry=$(mktemp)
+trap 'rm -f "$tmp_telemetry"' EXIT
+go run ./cmd/repro -exp rasecc -telemetry "$tmp_telemetry" -sample-ns 100000 >/dev/null
+python3 - "$tmp_telemetry" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "apusim-telemetry-runs/v1", d["schema"]
+run = d["runs"][0]
+assert run["id"] == "rasecc", run["id"]
+t = run["telemetry"]
+assert t["schema"] == "apusim-telemetry/v1", t["schema"]
+names = [s["name"] for s in t["series"]]
+assert "hbm.ecc_retries" in names, names
+assert len(t["times_ns"]) > 0 and t["sample_ns"] == 100000
+EOF
+
+echo "== telemetry golden schema =="
+# The series-dump JSON layout is pinned by a golden file; a diff here is
+# a schema change and needs a version bump.
+go test ./internal/telemetry/ -run TestDumpGolden -count=1
+
 echo "ci.sh: all checks passed"

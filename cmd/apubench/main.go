@@ -9,6 +9,7 @@
 //	apubench -platform mi300x -workload llm
 //	apubench -workload gemm -dtype fp8 -sparse
 //	apubench -exp fig20            # run one registry experiment
+//	apubench -exp rasecc -telemetry ecc.json -sample-ns 100000
 //	apubench -list-experiments     # enumerate the shared registry
 package main
 
@@ -21,6 +22,7 @@ import (
 	apusim "repro"
 	"repro/internal/config"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -34,15 +36,22 @@ func main() {
 	exp := flag.String("exp", "", "run one experiment from the shared registry (see -list-experiments)")
 	listExp := flag.Bool("list-experiments", false, "list the shared experiment registry and exit")
 	retries := flag.Int("retries", 0, "with -exp: re-run a failing experiment up to N more times on fresh engines")
+	telemetryOut := flag.String("telemetry", "", "with -exp: write the run's sampled telemetry series (JSON)")
+	sampleNS := flag.Int64("sample-ns", 0, "with -exp: telemetry sampling cadence in simulated nanoseconds (0 = default)")
 	flag.Parse()
 
 	if *listExp {
 		fmt.Print(apusim.Experiments().List())
 		return
 	}
+	if *exp == "" && (*telemetryOut != "" || *sampleNS != 0) {
+		fmt.Fprintln(os.Stderr, "apubench: -telemetry and -sample-ns require -exp (registry experiments own the sampled engines)")
+		os.Exit(2)
+	}
 	if *exp != "" {
 		suite, err := apusim.Experiments().RunSuite(runner.Options{
 			Parallel: 1, IDs: []string{*exp}, Retries: *retries,
+			SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apubench: %v (use -list-experiments)\n", err)
@@ -51,6 +60,19 @@ func main() {
 		if err := suite.WriteOutputs(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "apubench:", err)
 			os.Exit(1)
+		}
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err == nil {
+				err = suite.WriteTelemetryRuns(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apubench: telemetry:", err)
+				os.Exit(1)
+			}
 		}
 		if !suite.OK() {
 			os.Exit(1)

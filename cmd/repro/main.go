@@ -17,6 +17,8 @@
 //	repro -summary             # print the suite summary table to stderr
 //	repro -retries 2           # re-run failing experiments with fresh engines
 //	repro -faults plan.json    # inject a RAS fault plan into an MI300A run
+//	repro -telemetry out.json  # write sampled telemetry series for runs that record them
+//	repro -sample-ns 100000    # telemetry sampling cadence (simulated ns)
 package main
 
 import (
@@ -27,8 +29,8 @@ import (
 	"time"
 
 	apusim "repro"
-	"repro/internal/ras"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 	tracePrefix := flag.String("trace", "", "write Chrome traces to <prefix>-fig14.json and <prefix>-dispatch.json")
 	retries := flag.Int("retries", 0, "re-run a failing experiment up to N more times, each on a fresh engine")
 	faults := flag.String("faults", "", "JSON RAS fault plan: run it against an MI300A platform as experiment \"faultplan\"")
+	telemetryOut := flag.String("telemetry", "", "write sampled telemetry series (JSON) for runs that record them")
+	sampleNS := flag.Int64("sample-ns", 0, "telemetry sampling cadence in simulated nanoseconds (0 = default)")
 	flag.Parse()
 
 	if *tracePrefix != "" {
@@ -67,7 +71,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
 			os.Exit(2)
 		}
-		plan, err := ras.ParsePlan(data)
+		plan, err := apusim.ParseFaultPlan(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
 			os.Exit(2)
@@ -93,9 +97,10 @@ func main() {
 	}
 
 	opts := runner.Options{
-		Parallel: *parallel,
-		Timeout:  *timeout,
-		Retries:  *retries,
+		Parallel:    *parallel,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
 		OnResult: func(r runner.Result) {
 			if err := runner.WriteResult(os.Stdout, r); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
@@ -122,6 +127,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *telemetryOut != "" {
+		if err := writeTelemetry(*telemetryOut, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed := suite.Failed(); len(failed) > 0 {
 		for _, r := range failed {
 			fmt.Fprintf(os.Stderr, "repro: %s failed (%s): %v\n", r.ID, r.Status, r.Err)
@@ -136,6 +147,21 @@ func writeManifest(path string, suite *runner.SuiteResult) error {
 		return err
 	}
 	if err := runner.BuildManifest(suite).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTelemetry writes the sampled series of every telemetry-bearing
+// run — in registration order, so the file is byte-identical at any
+// -parallel degree.
+func writeTelemetry(path string, suite *runner.SuiteResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteTelemetryRuns(f); err != nil {
 		f.Close()
 		return err
 	}

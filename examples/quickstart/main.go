@@ -1,6 +1,7 @@
-// Quickstart: build an MI300A platform, allocate arrays in its unified
-// HBM, dispatch a real kernel across all six XCDs through the AQL queue
-// machinery, and print what the memory system and fabric saw.
+// Quickstart: build an MI300A platform with telemetry attached, allocate
+// arrays in its unified HBM, dispatch a real kernel across all six XCDs
+// through the AQL queue machinery, and print what the memory system,
+// fabric, and sampled telemetry probes saw.
 package main
 
 import (
@@ -12,8 +13,16 @@ import (
 
 func main() {
 	// 1. Assemble the APU: 6 XCDs + 3 CCDs on 4 IODs, 128 GB HBM3 behind
-	// a 256 MB Infinity Cache, all coherent in one package.
-	apu, err := apusim.NewMI300A()
+	// a 256 MB Infinity Cache, all coherent in one package. The options
+	// attach a telemetry recorder (every component registers its probes
+	// during assembly) and an engine for sampling on; with no options New
+	// is exactly apusim.NewMI300A.
+	eng := apusim.NewEngine()
+	rec := apusim.NewRecorder()
+	apu, err := apusim.New(apusim.SpecMI300A(),
+		apusim.WithEngine(eng),
+		apusim.WithTelemetry(rec),
+		apusim.WithSampleEvery(10*apusim.Microsecond))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,4 +93,19 @@ func main() {
 	fmt.Printf("  Infinity Cache: %.1f%% hit rate (%d prefetches)\n", 100*ic.HitRate(), ic.Prefetches)
 	fmt.Printf("  HBM bytes moved: %d MB; fabric energy: %.1f µJ\n",
 		apu.HBM.BytesMoved()>>20, apu.Net.TotalEnergyPJ()/1e6)
+
+	// 7. Sampled telemetry: arm a sampler over the kernel's span and drain
+	// the engine — every registered probe (fabric, HBM, cache, XCDs,
+	// power/thermal) gets one value per tick. The same recorder can feed
+	// WriteCSV/WriteJSON or counter tracks in a Chrome trace (WriteTrace).
+	ticks := apusim.NewSampler(eng, rec, 0).Arm(done)
+	eng.RunAll()
+	fmt.Printf("telemetry: %d probes x %d ticks (schema %s)\n",
+		rec.Probes(), ticks, apusim.TelemetrySchema)
+	if s, ok := rec.SeriesByName("hbm.live_channels"); ok {
+		fmt.Printf("  hbm.live_channels: %.0f\n", s.Values[len(s.Values)-1])
+	}
+	if s, ok := rec.SeriesByName("power.total_w"); ok {
+		fmt.Printf("  power.total_w: %.0f W idle floor\n", s.Values[len(s.Values)-1])
+	}
 }

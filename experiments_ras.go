@@ -11,6 +11,7 @@ import (
 	"repro/internal/ras"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -176,6 +177,17 @@ func ExperimentChannelRetireGEMM(ctx *runner.Ctx) ([]RetireStage, *metrics.Table
 	if err != nil {
 		return nil, nil, err
 	}
+	// Sample the HBM through the retirement timeline: the live-channel
+	// staircase and the stage bandwidths land in the run's telemetry
+	// series (faults at a grid time fire before the tick, so the tick sees
+	// the degraded machine). measured_bw holds the latest stage's streaming
+	// bandwidth, so the sampled series steps down the cliff between fault
+	// timestamps.
+	rec := ctx.Telemetry()
+	telemetry.InstrumentHBM(rec, h, "hbm")
+	var measuredBW float64
+	rec.Gauge("hbm.measured_bw", func(sim.Time) float64 { return measuredBW })
+	ctx.ArmSampler(4 * sim.Millisecond)
 	eng := ctx.Engine()
 
 	measure := func(start sim.Time) RetireStage {
@@ -188,6 +200,7 @@ func ExperimentChannelRetireGEMM(ctx *runner.Ctx) ([]RetireStage, *metrics.Table
 			}
 		}
 		bw := float64(total) / (end - start).Seconds()
+		measuredBW = bw
 		s := RetireStage{Retired: h.RetiredChannels(), Live: h.LiveChannels(), BW: bw}
 		s.AttainTF = peakFlops
 		if bwBound := bw * gemmAI; bwBound < s.AttainTF {
@@ -381,6 +394,14 @@ func ExperimentECCStorm(ctx *runner.Ctx) ([]ECCStage, *metrics.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Sample the storm: hbm.ecc_retries ramps up window over window while
+	// measured_bw (the latest stage's streaming bandwidth) decays between
+	// fault timestamps.
+	rec := ctx.Telemetry()
+	telemetry.InstrumentHBM(rec, h, "hbm")
+	var measuredBW float64
+	rec.Gauge("hbm.measured_bw", func(sim.Time) float64 { return measuredBW })
+	ctx.ArmSampler(4 * sim.Millisecond)
 	eng := ctx.Engine()
 
 	rates := []float64{0, 0.01, 0.10, 0.50}
@@ -394,7 +415,8 @@ func ExperimentECCStorm(ctx *runner.Ctx) ([]ECCStage, *metrics.Table, error) {
 				end = done
 			}
 		}
-		return ECCStage{Rate: rate, BW: float64(total) / (end - start).Seconds(),
+		measuredBW = float64(total) / (end - start).Seconds()
+		return ECCStage{Rate: rate, BW: measuredBW,
 			Events: h.ECCEvents() - before}
 	}
 
@@ -500,6 +522,14 @@ func ExperimentFaultPlan(ctx *runner.Ctx, plan *ras.Plan) (string, error) {
 	return t.String(), nil
 }
 
+// telemetryFooter renders a deterministic one-line note about the run's
+// sampled series (probe and cadence only — sample counts are still
+// growing until the runner's final drain, so they stay out of the output).
+func telemetryFooter(ctx *runner.Ctx) string {
+	return fmt.Sprintf("telemetry: %d probes @ %v cadence\n",
+		ctx.Telemetry().Probes(), ctx.SampleEvery())
+}
+
 // registerRASExperiments registers the fault-injection experiments.
 func registerRASExperiments(r *runner.Registry) {
 	r.MustRegister(runner.Experiment{ID: "raslink", Desc: "RAS: USR link loss — reroute and derate bandwidth",
@@ -516,7 +546,7 @@ func registerRASExperiments(r *runner.Registry) {
 			if err != nil {
 				return "", err
 			}
-			return t.String(), nil
+			return t.String() + telemetryFooter(ctx), nil
 		}})
 	r.MustRegister(runner.Experiment{ID: "rasxcd", Desc: "RAS: runtime XCD loss — dispatch redistribution, LLM throughput",
 		Run: func(ctx *runner.Ctx) (string, error) {
@@ -532,6 +562,6 @@ func registerRASExperiments(r *runner.Registry) {
 			if err != nil {
 				return "", err
 			}
-			return t.String(), nil
+			return t.String() + telemetryFooter(ctx), nil
 		}})
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/telemetry"
+)
+
+// BuildOptions configures platform assembly. The apusim facade's
+// functional options (WithSeed, WithTelemetry) reduce to this struct.
+type BuildOptions struct {
+	// HarvestSeed seeds the deterministic CU-harvesting RNG; 0 selects
+	// the historical default, so existing platforms are bit-identical.
+	HarvestSeed uint64
+	// Telemetry, when non-nil, has every component probe registered on it
+	// (see Instrument).
+	Telemetry *telemetry.Recorder
+}
+
+// NewPlatformWith assembles a platform with explicit build options.
+func NewPlatformWith(spec *config.PlatformSpec, opts BuildOptions) (*Platform, error) {
+	p, err := newPlatform(spec, opts.HarvestSeed)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Telemetry != nil {
+		p.Instrument(opts.Telemetry)
+	}
+	return p, nil
+}
+
+// Instrument registers the full platform probe set on rec, in a fixed
+// order (fabric links, HBM, host DDR, Infinity Cache, XCDs, power/
+// thermal) so the recorder's column layout is deterministic.
+func (p *Platform) Instrument(rec *telemetry.Recorder) {
+	telemetry.InstrumentNetwork(rec, p.Net)
+	telemetry.InstrumentHBM(rec, p.HBM, "hbm")
+	if p.HostDDR != nil {
+		telemetry.InstrumentHBM(rec, p.HostDDR, "ddr")
+	}
+	if p.InfCache != nil {
+		telemetry.InstrumentInfinityCache(rec, p.InfCache)
+	}
+	telemetry.InstrumentXCDs(rec, p.XCDs)
+	p.instrumentPower(rec)
+}

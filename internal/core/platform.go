@@ -61,6 +61,10 @@ type Platform struct {
 
 	// Power is the socket power model (nil for concept platforms).
 	Power *power.Model
+	// gov tracks the live governor state for telemetry; built lazily.
+	gov *Governor
+	// harvestSeed drives deterministic CU harvesting (0 = default).
+	harvestSeed uint64
 
 	// Fabric node handles.
 	iodNodes  []fabric.NodeID
@@ -76,12 +80,19 @@ type Platform struct {
 // hbmLatency is the HBM array access latency.
 const hbmLatency = 120 * sim.Nanosecond
 
-// NewPlatform assembles a platform from its spec.
+// NewPlatform assembles a platform from its spec with default build
+// options (see NewPlatformWith in observe.go for the configurable form).
 func NewPlatform(spec *config.PlatformSpec) (*Platform, error) {
+	return newPlatform(spec, 0)
+}
+
+// newPlatform assembles a platform; harvestSeed 0 selects the historical
+// default CU-harvesting seed.
+func newPlatform(spec *config.PlatformSpec, harvestSeed uint64) (*Platform, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Platform{Spec: spec, Net: fabric.New()}
+	p := &Platform{Spec: spec, Net: fabric.New(), harvestSeed: harvestSeed}
 
 	// Memory system.
 	p.HBM = mem.NewHBM(spec.HBM.Generation, spec.HBM.Stacks, spec.HBM.ChannelsStack,
@@ -256,7 +267,11 @@ func (p *Platform) buildGCDFabric() {
 // complexes.
 func (p *Platform) buildCompute() {
 	spec := p.Spec
-	rng := sim.NewRNG(0xC0FFEE)
+	seed := p.harvestSeed
+	if seed == 0 {
+		seed = 0xC0FFEE
+	}
+	rng := sim.NewRNG(seed)
 	for i := 0; i < spec.XCDs; i++ {
 		p.XCDs = append(p.XCDs, gpu.NewXCD(i, spec.XCD, rng))
 	}

@@ -178,6 +178,41 @@ func (x *XCD) DisableRandomCUs(n int, rng *sim.RNG) int {
 // CUs returns the CU list (including disabled ones).
 func (x *XCD) CUs() []*CU { return x.cus }
 
+// BusyCUs reports how many enabled CUs still have at least one workgroup
+// slot occupied at simulated time now (the telemetry busy-CU gauge).
+func (x *XCD) BusyCUs(now sim.Time) int {
+	var n int
+	for _, c := range x.cus {
+		if c.Disabled {
+			continue
+		}
+		for _, free := range c.slotFree {
+			if free > now {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// InFlightWorkgroups counts workgroup slots occupied across enabled CUs at
+// simulated time now (the telemetry in-flight gauge).
+func (x *XCD) InFlightWorkgroups(now sim.Time) int {
+	var n int
+	for _, c := range x.cus {
+		if c.Disabled {
+			continue
+		}
+		for _, free := range c.slotFree {
+			if free > now {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // L2 exposes the shared L2 model.
 func (x *XCD) L2() *cache.SetAssoc { return x.l2 }
 

@@ -264,6 +264,29 @@ func (h *HBM) BytesMoved() uint64 {
 	return b
 }
 
+// StackBytesMoved reports bytes served by the channels of stack s (the
+// per-stack bandwidth telemetry probe). Out-of-range stacks report 0.
+func (h *HBM) StackBytesMoved(s int) uint64 {
+	if s < 0 || s >= h.Map.Stacks {
+		return 0
+	}
+	var b uint64
+	per := h.Map.Channels
+	for i := s * per; i < (s+1)*per && i < len(h.channels); i++ {
+		b += h.channels[i].bytes
+	}
+	return b
+}
+
+// RowStats reports the aggregate row-buffer hit/miss counters.
+func (h *HBM) RowStats() (hits, misses uint64) {
+	for _, c := range h.channels {
+		hits += c.rowHits
+		misses += c.rowMisses
+	}
+	return hits, misses
+}
+
 // AchievedBW reports average bandwidth over [0, horizon].
 func (h *HBM) AchievedBW(horizon sim.Time) float64 {
 	if horizon <= 0 {

@@ -69,7 +69,7 @@ func (in *Injector) Arm(eng *sim.Engine, t Targets) (int, error) {
 		if at < eng.Now() {
 			at = eng.Now()
 		}
-		eng.Schedule(at, func(now sim.Time) {
+		eng.ScheduleNamed("ras.fault", at, func(now sim.Time) {
 			in.apply(f, t, rng, now)
 		})
 	}

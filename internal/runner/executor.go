@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Status classifies how an experiment run ended.
@@ -52,6 +53,12 @@ type Result struct {
 	Attempts int
 	// Faults are the injected-fault summaries recorded via Ctx.RecordFault.
 	Faults []string
+	// Telemetry is the compact sampled-series summary, set only when the
+	// run built a recorder via Ctx.Telemetry. It lands in the manifest.
+	Telemetry *telemetry.Summary
+	// TelemetryDump is the full deterministic columnar store for the same
+	// runs, for callers writing CSV/JSON series files.
+	TelemetryDump *telemetry.Dump
 }
 
 // Failed reports whether the run ended abnormally. A degraded run is not a
@@ -72,6 +79,10 @@ type Options struct {
 	// IDs restricts the run to a subset (still in registration order);
 	// nil runs everything.
 	IDs []string
+	// SampleEvery is the telemetry sampling cadence handed to each run's
+	// context; 0 selects telemetry.DefaultCadence. It only matters for
+	// experiments that call Ctx.Telemetry/ArmSampler.
+	SampleEvery sim.Time
 	// OnResult, when set, is called once per experiment in registration
 	// order as soon as the result (and all earlier ones) are available,
 	// so callers can stream deterministic output while later experiments
@@ -194,7 +205,7 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(exps[i], opts.Timeout, opts.Retries)
+				results[i] = runOne(exps[i], opts)
 				close(ready[i])
 			}
 		}()
@@ -229,13 +240,14 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 // Every attempt runs on a completely fresh context and engine, so a
 // crashed attempt cannot poison its successor; the final attempt's result
 // is returned with Attempts counting how many ran.
-func runOne(e Experiment, timeout time.Duration, retries int) Result {
+func runOne(e Experiment, opts Options) Result {
+	retries := opts.Retries
 	if retries < 0 {
 		retries = 0
 	}
 	var res Result
 	for attempt := 1; attempt <= retries+1; attempt++ {
-		res = runAttempt(e, timeout)
+		res = runAttempt(e, opts)
 		res.Attempts = attempt
 		if !res.Failed() {
 			break
@@ -248,15 +260,16 @@ func runOne(e Experiment, timeout time.Duration, retries int) Result {
 // an optional wall-clock deadline. The run happens on a fresh goroutine so
 // a deadline can abandon it; an abandoned run keeps its private engine
 // and context, so there is no shared state to race on.
-func runAttempt(e Experiment, timeout time.Duration) Result {
+func runAttempt(e Experiment, opts Options) Result {
+	timeout := opts.Timeout
 	done := make(chan Result, 1)
 	go func() {
-		ctx := newCtx(e.ID)
+		ctx := newCtx(e.ID, opts.SampleEvery)
 		res := Result{ID: e.ID, Desc: e.Desc, Status: StatusOK}
 		start := time.Now()
 		// A completion sentinel stays queued unless the run finishes
 		// cleanly, so EventsPending > 0 flags an abnormal end.
-		sentinel := ctx.eng.Schedule(sim.Forever, func(sim.Time) {})
+		sentinel := ctx.eng.ScheduleNamed("runner.sentinel", sim.Forever, func(sim.Time) {})
 		defer func() {
 			if p := recover(); p != nil {
 				res.Status = StatusPanic
@@ -269,6 +282,12 @@ func runAttempt(e Experiment, timeout time.Duration) Result {
 			res.EventsPending = ctx.eng.Pending()
 			res.Milestones = ctx.Milestones()
 			res.Faults = ctx.Faults()
+			// The body's final RunAll has already fired any leftover
+			// sampler ticks, so the dump below sees the complete grid.
+			if rec := ctx.recorder(); rec != nil {
+				res.TelemetryDump = rec.Dump()
+				res.Telemetry = rec.Summary()
+			}
 			done <- res
 		}()
 		ctx.Milestone("start")

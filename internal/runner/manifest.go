@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // ManifestSchema identifies the manifest JSON layout; bump on
@@ -53,6 +54,10 @@ type ExperimentRecord struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Faults are the injected-fault summaries the run recorded.
 	Faults []string `json:"faults,omitempty"`
+	// Telemetry is the run's sampled-series summary, present only for
+	// experiments that recorded telemetry; omitted otherwise, so v1
+	// manifest readers are unaffected.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // BuildManifest converts a suite result into its manifest form.
@@ -84,6 +89,7 @@ func BuildManifest(s *SuiteResult) *Manifest {
 			Milestones:    r.Milestones,
 			Attempts:      r.Attempts,
 			Faults:        r.Faults,
+			Telemetry:     r.Telemetry,
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -98,6 +104,35 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
+}
+
+// TelemetryRunsSchema identifies the telemetry series file (-telemetry)
+// layout: one full columnar dump per telemetry-bearing run.
+const TelemetryRunsSchema = "apusim-telemetry-runs/v1"
+
+// telemetryRun pairs an experiment ID with its full series dump.
+type telemetryRun struct {
+	ID     string          `json:"id"`
+	Series *telemetry.Dump `json:"telemetry"`
+}
+
+// WriteTelemetryRuns writes every telemetry-bearing run's full columnar
+// dump as indented JSON, in registration order. The dumps contain only
+// simulated-time data, so the output is byte-identical across runs and
+// parallelism degrees for a fixed seed and fault plan.
+func (s *SuiteResult) WriteTelemetryRuns(w io.Writer) error {
+	out := struct {
+		Schema string         `json:"schema"`
+		Runs   []telemetryRun `json:"runs"`
+	}{Schema: TelemetryRunsSchema, Runs: []telemetryRun{}}
+	for _, r := range s.Results {
+		if r.TelemetryDump != nil {
+			out.Runs = append(out.Runs, telemetryRun{ID: r.ID, Series: r.TelemetryDump})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // SummaryTable renders the per-experiment summary as a metrics table,

@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Ctx is the per-run context handed to an experiment's run function. Each
@@ -26,11 +26,14 @@ import (
 // lifecycle events on it, and experiments may record additional progress
 // milestones. The engine's Fired/Pending counters land in the run
 // manifest, so an abnormal termination (panic, error) is visible as a
-// never-fired completion event.
+// never-fired completion event. Experiments that want sampled component
+// timelines register probes on Telemetry() and arm a sampler with
+// ArmSampler.
 type Ctx struct {
-	id    string
-	eng   *sim.Engine
-	start time.Time
+	id          string
+	eng         *sim.Engine
+	sampleEvery sim.Time
+	telem       *telemetry.Recorder
 
 	mu         sync.Mutex
 	milestones []string
@@ -38,8 +41,8 @@ type Ctx struct {
 	degraded   bool
 }
 
-func newCtx(id string) *Ctx {
-	return &Ctx{id: id, eng: sim.NewEngine(), start: time.Now()}
+func newCtx(id string, sampleEvery sim.Time) *Ctx {
+	return &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: sampleEvery}
 }
 
 // ID reports the experiment ID this context belongs to.
@@ -48,15 +51,15 @@ func (c *Ctx) ID() string { return c.id }
 // Engine returns the run's private discrete-event engine.
 func (c *Ctx) Engine() *sim.Engine { return c.eng }
 
-// Milestone records a named progress marker: an event is scheduled and
-// fired on the run's engine at the current wall-clock offset, so the
-// engine's event log mirrors the experiment's real-time progress.
+// Milestone records a named progress marker: an event is stamped and
+// fired on the run's engine at the current simulated time, so milestones
+// appear in the engine's event log without perturbing the simulated
+// clock. (An earlier design mapped milestones to wall-clock offsets,
+// which made engine time — and therefore every sampled telemetry grid —
+// nondeterministic across runs.)
 func (c *Ctx) Milestone(name string) {
-	at := sim.FromSeconds(time.Since(c.start).Seconds())
-	if at < c.eng.Now() {
-		at = c.eng.Now()
-	}
-	c.eng.Schedule(at, func(sim.Time) {})
+	at := c.eng.Now()
+	c.eng.ScheduleNamed("runner.milestone", at, func(sim.Time) {})
 	c.eng.Run(at)
 	c.mu.Lock()
 	c.milestones = append(c.milestones, name)
@@ -69,6 +72,38 @@ func (c *Ctx) Milestones() []string {
 	defer c.mu.Unlock()
 	return append([]string(nil), c.milestones...)
 }
+
+// Telemetry returns the run's telemetry recorder, building it on first
+// use and attaching its engine profile to the run's engine — so any
+// experiment that opts in gets handler-class profiling alongside its
+// sampled series, and runs that never call this pay nothing.
+func (c *Ctx) Telemetry() *telemetry.Recorder {
+	if c.telem == nil {
+		c.telem = telemetry.NewRecorder()
+		c.telem.ObserveEngine(c.eng)
+	}
+	return c.telem
+}
+
+// SampleEvery reports the run's telemetry sampling cadence: the suite's
+// Options.SampleEvery, or the package default when unset.
+func (c *Ctx) SampleEvery() sim.Time {
+	if c.sampleEvery > 0 {
+		return c.sampleEvery
+	}
+	return telemetry.DefaultCadence
+}
+
+// ArmSampler schedules probe snapshots at every SampleEvery grid point up
+// to the until horizon on the run's engine, returning the tick count. The
+// ticks fire as the experiment advances its engine; the runner's end-of-
+// run drain flushes any that remain.
+func (c *Ctx) ArmSampler(until sim.Time) int {
+	return telemetry.NewSampler(c.eng, c.Telemetry(), c.SampleEvery()).Arm(until)
+}
+
+// recorder returns the recorder if the run built one, without creating it.
+func (c *Ctx) recorder() *telemetry.Recorder { return c.telem }
 
 // RecordFault notes an injected-fault summary (e.g. "link-down IOD-A<->IOD-B
 // at 1µs"). The summaries land in the run's Result and manifest record, so

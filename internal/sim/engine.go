@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a simulated timestamp in picoseconds.
@@ -77,13 +78,27 @@ func FromSeconds(s float64) Time {
 // Handler is a callback fired when an event's time arrives.
 type Handler func(now Time)
 
+// Hook observes engine execution. A profiler installed with SetHook
+// receives one callback per fired event with the event's class, its
+// simulated firing time, and the wall-clock cost of its handler. The
+// engine measures handler wall time only while a hook is installed, so an
+// unprofiled run pays nothing.
+type Hook interface {
+	EventDone(class string, at Time, wall time.Duration)
+}
+
+// DefaultClass is the handler class assigned by Schedule/After; components
+// that want per-class profiling use ScheduleNamed instead.
+const DefaultClass = "event"
+
 // event is a scheduled callback in the engine's priority queue.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among equal timestamps
-	fn   Handler
-	dead bool // cancelled
-	idx  int  // heap index
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    Handler
+	class string
+	dead  bool // cancelled
+	idx   int  // heap index
 }
 
 // eventHeap implements container/heap over *event ordered by (at, seq).
@@ -131,6 +146,8 @@ type Engine struct {
 	queue  eventHeap
 	fired  uint64
 	cancel uint64
+	hook   Hook
+	hwm    int
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -163,9 +180,17 @@ func (e *Engine) Drained() bool {
 	return true
 }
 
-// Schedule queues fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it indicates a causality bug in a component model.
+// Schedule queues fn to run at absolute time at under DefaultClass.
+// Scheduling in the past (before Now) panics: it indicates a causality bug
+// in a component model.
 func (e *Engine) Schedule(at Time, fn Handler) EventID {
+	return e.ScheduleNamed(DefaultClass, at, fn)
+}
+
+// ScheduleNamed is Schedule with an explicit handler class, so installed
+// Hooks (and telemetry engine profiles) can attribute fired events and
+// handler wall time per subsystem (e.g. "ras.fault", "telemetry.sample").
+func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -173,10 +198,20 @@ func (e *Engine) Schedule(at Time, fn Handler) EventID {
 		panic("sim: nil handler")
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := &event{at: at, seq: e.seq, fn: fn, class: class}
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.hwm {
+		e.hwm = len(e.queue)
+	}
 	return EventID{e: ev, seq: e.seq}
 }
+
+// SetHook installs (or, with nil, removes) the execution observer.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
+
+// QueueHighWater reports the deepest the event queue has ever been
+// (including cancelled events not yet reaped).
+func (e *Engine) QueueHighWater() int { return e.hwm }
 
 // After queues fn to run d picoseconds from now.
 func (e *Engine) After(d Time, fn Handler) EventID {
@@ -210,7 +245,13 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn(e.now)
+		if e.hook != nil {
+			start := time.Now()
+			ev.fn(e.now)
+			e.hook.EventDone(ev.class, e.now, time.Since(start))
+		} else {
+			ev.fn(e.now)
+		}
 		return true
 	}
 	return false

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEngineOrdersEventsByTime(t *testing.T) {
@@ -408,5 +409,73 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 			e.Schedule(Time(j%97), func(Time) {})
 		}
 		e.RunAll()
+	}
+}
+
+// testHook records EventDone callbacks for the profiling-hook tests.
+type testHook struct {
+	classes []string
+	wallOK  bool
+}
+
+func (h *testHook) EventDone(class string, _ Time, wall time.Duration) {
+	h.classes = append(h.classes, class)
+	if wall >= 0 {
+		h.wallOK = true
+	}
+}
+
+func TestHookObservesClassesAndWall(t *testing.T) {
+	e := NewEngine()
+	h := &testHook{}
+	e.SetHook(h)
+	e.ScheduleNamed("ras.fault", 10, func(Time) {})
+	e.Schedule(5, func(Time) {})
+	e.ScheduleNamed("telemetry.sample", 20, func(Time) {})
+	e.RunAll()
+	want := []string{DefaultClass, "ras.fault", "telemetry.sample"}
+	if len(h.classes) != len(want) {
+		t.Fatalf("hook saw %v, want %v", h.classes, want)
+	}
+	for i := range want {
+		if h.classes[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", h.classes, want)
+		}
+	}
+	if !h.wallOK {
+		t.Error("hook never saw a wall duration")
+	}
+}
+
+func TestHookRemovable(t *testing.T) {
+	e := NewEngine()
+	h := &testHook{}
+	e.SetHook(h)
+	e.Schedule(1, func(Time) {})
+	e.SetHook(nil)
+	e.RunAll()
+	if len(h.classes) != 0 {
+		t.Errorf("removed hook still observed %v", h.classes)
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	if e.QueueHighWater() != 0 {
+		t.Errorf("fresh engine high water = %d", e.QueueHighWater())
+	}
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, e.Schedule(Time(i+1), func(Time) {}))
+	}
+	e.Cancel(ids[4])
+	e.RunAll()
+	if e.QueueHighWater() != 5 {
+		t.Errorf("high water = %d, want 5 (cancelled events count until reaped)", e.QueueHighWater())
+	}
+	// Draining does not lower the mark.
+	e.Schedule(e.Now()+1, func(Time) {})
+	if e.QueueHighWater() != 5 {
+		t.Errorf("high water dropped to %d", e.QueueHighWater())
 	}
 }

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ClassStats accumulates execution counters for one engine handler class.
+type ClassStats struct {
+	Class string `json:"class"`
+	// Fired counts events executed under this class — deterministic for a
+	// given seed and fault plan.
+	Fired uint64 `json:"fired"`
+	// WallNS is the cumulative wall-clock handler cost. It is inherently
+	// nondeterministic and therefore appears only in Summary, never in
+	// the byte-stable Dump.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// EngineProfile implements sim.Hook: it attributes fired events and
+// handler wall time to handler classes (ScheduleNamed's class string;
+// sim.DefaultClass for plain Schedule calls).
+type EngineProfile struct {
+	classes map[string]*ClassStats
+}
+
+// NewEngineProfile returns an empty profile.
+func NewEngineProfile() *EngineProfile {
+	return &EngineProfile{classes: make(map[string]*ClassStats)}
+}
+
+// EventDone records one fired event. It is the sim.Hook callback.
+func (p *EngineProfile) EventDone(class string, _ sim.Time, wall time.Duration) {
+	c := p.classes[class]
+	if c == nil {
+		c = &ClassStats{Class: class}
+		p.classes[class] = c
+	}
+	c.Fired++
+	c.WallNS += wall.Nanoseconds()
+}
+
+// Classes returns per-class stats sorted by class name, so profile output
+// is stable regardless of execution interleaving.
+func (p *EngineProfile) Classes() []ClassStats {
+	out := make([]ClassStats, 0, len(p.classes))
+	for _, c := range p.classes {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

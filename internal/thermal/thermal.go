@@ -51,6 +51,22 @@ func NewSolver(nx, ny int) *Solver {
 	}
 }
 
+// HotspotEstimate is a closed-form steady-state hotspot estimate for a
+// uniformly dissipating region: ambient plus a rise proportional to power
+// density (W/mm²). The full Gauss-Seidel Solve costs O(grid² · iters) and
+// is far too expensive to run at telemetry sampling cadence; this is the
+// cheap per-sample companion the power governor's hotspot probe uses.
+func HotspotEstimate(ambientC, watts, areaMM2 float64) float64 {
+	if watts <= 0 || areaMM2 <= 0 {
+		return ambientC
+	}
+	// °C·mm²/W through the die stack and cold plate, calibrated so the
+	// MI300A XCD domain at its 390 W peak over six ~115 mm² dies lands
+	// near the ~85 °C hotspots of the Fig. 12 maps at 35 °C coolant.
+	const thetaCMM2PerW = 88.0
+	return ambientC + thetaCMM2PerW*watts/areaMM2
+}
+
 // Field is a solved temperature field in Celsius, row-major [y][x].
 type Field struct {
 	Nx, Ny int

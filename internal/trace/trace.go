@@ -1,8 +1,9 @@
 // Package trace exports simulated timelines in the Chrome trace-event
 // format (the JSON consumed by chrome://tracing and Perfetto), so program
-// step timelines, kernel dispatches, and collective schedules from the
-// simulator can be inspected visually. Only the small "complete event"
-// ('X') subset is emitted.
+// step timelines, kernel dispatches, collective schedules, and sampled
+// telemetry series from the simulator can be inspected visually. Three
+// event phases are emitted: complete spans ('X'), zero-duration instants
+// ('i'), and counter samples ('C').
 package trace
 
 import (
@@ -14,17 +15,22 @@ import (
 	"repro/internal/sim"
 )
 
-// Event is one complete ('X') trace event.
+// Event is one trace event: a complete span ('X'), an instant ('i'), or a
+// counter sample ('C').
 type Event struct {
 	Name     string `json:"name"`
 	Category string `json:"cat,omitempty"`
 	Phase    string `json:"ph"`
 	// TsUS and DurUS are microseconds, per the trace format.
-	TsUS  float64           `json:"ts"`
-	DurUS float64           `json:"dur"`
-	PID   int               `json:"pid"`
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
+	TsUS  float64 `json:"ts"`
+	DurUS float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	// Scope is the instant-event scope ("t" = thread), set only on 'i'.
+	Scope string `json:"s,omitempty"`
+	// Args carries string annotations on spans/instants and numeric
+	// series values on counters.
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // Trace accumulates events and track names.
@@ -51,23 +57,56 @@ func (t *Trace) NameThread(pid, tid int, name string) {
 	t.threadNames[[2]int{pid, tid}] = name
 }
 
-// Span records one interval.
+// Span records one interval. A reversed interval (end before start) is
+// swapped. A zero-length interval (start == end) is recorded as an
+// instant ('i') event rather than a 0 µs span: viewers drop zero-duration
+// complete events entirely, and a vanished marker is worse than a tick.
 func (t *Trace) Span(name, category string, pid, tid int, start, end sim.Time, args map[string]string) {
 	if end < start {
 		start, end = end, start
+	}
+	var a map[string]any
+	if len(args) > 0 {
+		a = make(map[string]any, len(args))
+		for k, v := range args {
+			a[k] = v
+		}
+	}
+	if start == end {
+		t.events = append(t.events, Event{
+			Name: name, Category: category, Phase: "i", Scope: "t",
+			TsUS: start.Microseconds(),
+			PID:  pid, TID: tid, Args: a,
+		})
+		return
 	}
 	t.events = append(t.events, Event{
 		Name: name, Category: category, Phase: "X",
 		TsUS:  start.Microseconds(),
 		DurUS: (end - start).Microseconds(),
-		PID:   pid, TID: tid, Args: args,
+		PID:   pid, TID: tid, Args: a,
 	})
 }
 
-// Len reports the number of recorded spans.
+// Counter records one counter ('C') sample: values maps series names on
+// the counter track name to their values at time at. Counter tracks
+// render as filled area charts in the viewer.
+func (t *Trace) Counter(name string, pid int, at sim.Time, values map[string]float64) {
+	a := make(map[string]any, len(values))
+	for k, v := range values {
+		a[k] = v
+	}
+	t.events = append(t.events, Event{
+		Name: name, Phase: "C",
+		TsUS: at.Microseconds(),
+		PID:  pid, Args: a,
+	})
+}
+
+// Len reports the number of recorded events.
 func (t *Trace) Len() int { return len(t.events) }
 
-// Events returns the recorded spans sorted by start time.
+// Events returns the recorded events sorted by start time.
 func (t *Trace) Events() []Event {
 	out := append([]Event(nil), t.events...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TsUS < out[j].TsUS })
@@ -120,14 +159,36 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return enc.Encode(all)
 }
 
-// Validate checks structural invariants: non-negative durations and
-// phase 'X' on every event.
+// Validate checks structural invariants: spans have non-negative
+// durations, instants have none, and counter events carry a non-empty
+// series name plus at least one named numeric value.
 func (t *Trace) Validate() error {
 	for i, e := range t.events {
-		if e.DurUS < 0 {
-			return fmt.Errorf("trace: event %d (%s) has negative duration", i, e.Name)
-		}
-		if e.Phase != "X" {
+		switch e.Phase {
+		case "X":
+			if e.DurUS < 0 {
+				return fmt.Errorf("trace: event %d (%s) has negative duration", i, e.Name)
+			}
+		case "i":
+			if e.DurUS != 0 {
+				return fmt.Errorf("trace: instant event %d (%s) has duration %g", i, e.Name, e.DurUS)
+			}
+		case "C":
+			if e.Name == "" {
+				return fmt.Errorf("trace: counter event %d has an empty series name", i)
+			}
+			if len(e.Args) == 0 {
+				return fmt.Errorf("trace: counter event %d (%s) has no values", i, e.Name)
+			}
+			for k, v := range e.Args {
+				if k == "" {
+					return fmt.Errorf("trace: counter event %d (%s) has an empty value key", i, e.Name)
+				}
+				if _, ok := v.(float64); !ok {
+					return fmt.Errorf("trace: counter event %d (%s) value %q is not numeric", i, e.Name, k)
+				}
+			}
+		default:
 			return fmt.Errorf("trace: event %d (%s) has phase %q", i, e.Name, e.Phase)
 		}
 	}

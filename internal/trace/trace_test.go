@@ -136,3 +136,68 @@ func TestWriteJSONGolden(t *testing.T) {
 		}
 	}
 }
+
+func TestZeroLengthSpanBecomesInstant(t *testing.T) {
+	tr := New()
+	tr.Span("marker", "sync", 2, 1, 5*sim.Microsecond, 5*sim.Microsecond,
+		map[string]string{"why": "signal"})
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Phase != "i" || e.Scope != "t" {
+		t.Errorf("phase/scope = %q/%q, want i/t", e.Phase, e.Scope)
+	}
+	if e.TsUS != 5 || e.DurUS != 0 {
+		t.Errorf("ts/dur = %g/%g, want 5/0", e.TsUS, e.DurUS)
+	}
+	if e.Args["why"] != "signal" {
+		t.Errorf("args = %v", e.Args)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("instant event invalid: %v", err)
+	}
+}
+
+func TestCounterEvents(t *testing.T) {
+	tr := New()
+	tr.Counter("hbm.bw", 3, 100*sim.Microsecond, map[string]float64{"value": 1.5e12})
+	e := tr.Events()[0]
+	if e.Phase != "C" || e.PID != 3 || e.TsUS != 100 {
+		t.Errorf("counter event = %+v", e)
+	}
+	if v, ok := e.Args["value"].(float64); !ok || v != 1.5e12 {
+		t.Errorf("counter value = %v", e.Args["value"])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("counter event invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Errorf("JSON missing counter phase: %s", buf.String())
+	}
+}
+
+func TestValidateCounterSeriesNames(t *testing.T) {
+	cases := []struct {
+		desc string
+		ev   Event
+	}{
+		{"empty series name", Event{Phase: "C", Args: map[string]any{"value": 1.0}}},
+		{"no values", Event{Name: "c", Phase: "C"}},
+		{"empty value key", Event{Name: "c", Phase: "C", Args: map[string]any{"": 1.0}}},
+		{"non-numeric value", Event{Name: "c", Phase: "C", Args: map[string]any{"value": "1"}}},
+		{"instant with duration", Event{Name: "i", Phase: "i", DurUS: 3}},
+	}
+	for _, c := range cases {
+		tr := New()
+		tr.events = append(tr.events, c.ev)
+		if tr.Validate() == nil {
+			t.Errorf("%s not caught", c.desc)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package apusim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ras"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Re-exported observability and fault-injection types, so examples and
+// command-line tools never import internal packages.
+type (
+	// Engine is the discrete-event engine a simulation runs on.
+	Engine = sim.Engine
+	// Recorder samples named component probes on a simulated-time grid.
+	Recorder = telemetry.Recorder
+	// Series is one probe's sampled value column.
+	Series = telemetry.Series
+	// Sampler schedules probe snapshots on an engine at a fixed cadence.
+	Sampler = telemetry.Sampler
+	// TelemetryDump is the full deterministic columnar store (JSON/CSV).
+	TelemetryDump = telemetry.Dump
+	// TelemetrySummary is the compact per-run block embedded in manifests.
+	TelemetrySummary = telemetry.Summary
+	// FaultPlan is a deterministic RAS fault schedule.
+	FaultPlan = ras.Plan
+	// FaultInjector arms a FaultPlan against a platform's components.
+	FaultInjector = ras.Injector
+)
+
+// TelemetrySchema identifies the telemetry series-dump JSON layout.
+const TelemetrySchema = telemetry.DumpSchema
+
+// DefaultSampleEvery is the telemetry sampling cadence used when none is
+// configured.
+const DefaultSampleEvery = telemetry.DefaultCadence
+
+// Simulated-time units, for expressing cadences and horizons.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// NewEngine returns a fresh discrete-event engine at time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRecorder returns an empty telemetry recorder.
+func NewRecorder() *Recorder { return telemetry.NewRecorder() }
+
+// NewSampler prepares a sampler that snapshots rec's probes on eng every
+// `every` of simulated time (0 selects the recorder's cadence, then
+// DefaultSampleEvery). Call Arm(until) to schedule the ticks.
+func NewSampler(eng *Engine, rec *Recorder, every Time) *Sampler {
+	return telemetry.NewSampler(eng, rec, every)
+}
+
+// ParseFaultPlan decodes and validates a JSON fault plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return ras.ParsePlan(data) }
+
+// Option configures platform assembly in New.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	seed        uint64
+	eng         *sim.Engine
+	rec         *telemetry.Recorder
+	sampleEvery sim.Time
+	plan        *ras.Plan
+}
+
+// WithSeed overrides the CU-harvesting RNG seed; 0 (the default) keeps
+// the historical seed, so platforms built without this option are
+// bit-identical to the classic constructors.
+func WithSeed(seed uint64) Option { return func(c *buildConfig) { c.seed = seed } }
+
+// WithEngine attaches the platform's observers to eng: the telemetry
+// recorder's engine profile (when WithTelemetry is also given) and the
+// fault plan's scheduled events (when WithFaultPlan is given).
+func WithEngine(eng *Engine) Option { return func(c *buildConfig) { c.eng = eng } }
+
+// WithTelemetry registers the full platform probe set — fabric link
+// utilization, per-stack HBM bandwidth, ECC retries, Infinity Cache hit
+// rate, XCD occupancy, power/thermal — on rec during assembly.
+func WithTelemetry(rec *Recorder) Option { return func(c *buildConfig) { c.rec = rec } }
+
+// WithSampleEvery records the sampling cadence on the recorder given via
+// WithTelemetry; 0 keeps the recorder's existing cadence.
+func WithSampleEvery(every Time) Option {
+	return func(c *buildConfig) { c.sampleEvery = every }
+}
+
+// WithFaultPlan arms plan against the assembled platform's fabric, HBM,
+// XCDs, and GPU partition. It requires WithEngine — faults are events,
+// and they need an engine to be scheduled on.
+func WithFaultPlan(plan *FaultPlan) Option { return func(c *buildConfig) { c.plan = plan } }
+
+// New assembles a platform from a product spec plus functional options.
+// With no options it is exactly the classic constructors: NewMI300A and
+// friends are one-line wrappers over it.
+func New(spec *PlatformSpec, opts ...Option) (*Platform, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.plan != nil && cfg.eng == nil {
+		return nil, fmt.Errorf("apusim: WithFaultPlan requires WithEngine — faults are scheduled as engine events")
+	}
+	p, err := core.NewPlatformWith(spec, core.BuildOptions{
+		HarvestSeed: cfg.seed,
+		Telemetry:   cfg.rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.rec != nil {
+		if cfg.sampleEvery > 0 {
+			cfg.rec.SetCadence(cfg.sampleEvery)
+		}
+		if cfg.eng != nil {
+			cfg.rec.ObserveEngine(cfg.eng)
+		}
+	}
+	if cfg.plan != nil {
+		inj := ras.NewInjector(cfg.plan)
+		targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU}
+		if _, err := inj.Arm(cfg.eng, targets); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ArmFaultPlan arms plan against p's components on eng, for callers that
+// built the platform first and want the injector back (its Applied log
+// and Errs). New's WithFaultPlan covers the common fire-and-forget case.
+func ArmFaultPlan(p *Platform, eng *Engine, plan *FaultPlan) (*FaultInjector, error) {
+	inj := ras.NewInjector(plan)
+	targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU}
+	if _, err := inj.Arm(eng, targets); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
