@@ -52,6 +52,33 @@ assert "hbm.ecc_retries" in names, names
 assert len(t["times_ns"]) > 0 and t["sample_ns"] == 100000
 EOF
 
+echo "== spans smoke =="
+# A traced run must emit a parseable span file carrying the pinned
+# schemas, an attribution report whose per-stage shares sum to ~1, and
+# identical bytes at -parallel 1 and -parallel 8.
+tmp_spans1=$(mktemp)
+tmp_spans8=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8"' EXIT
+go run ./cmd/repro -exp spanras -parallel 1 -spans "$tmp_spans1" >/dev/null
+go run ./cmd/repro -exp spanras -parallel 8 -spans "$tmp_spans8" >/dev/null
+cmp "$tmp_spans1" "$tmp_spans8"
+python3 - "$tmp_spans1" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "apusim-spans-runs/v1", d["schema"]
+run = d["runs"][0]
+assert run["id"] == "spanras", run["id"]
+s = run["spans"]
+assert s["schema"] == "apusim-spans/v1", s["schema"]
+assert s["roots_sampled"] > 0 and len(s["spans"]) > s["roots_sampled"]
+assert any(e["class"] == "ras.fault" for e in s["events"])
+att = s["attribution"]
+assert att["schema"] == "apusim-spans-attribution/v1", att["schema"]
+for kind in att["kinds"]:
+    share = sum(st["share"] for st in kind["stages"])
+    assert abs(share - 1) < 0.01, (kind["kind"], share)
+EOF
+
 echo "== telemetry golden schema =="
 # The series-dump JSON layout is pinned by a golden file; a diff here is
 # a schema change and needs a version bump.

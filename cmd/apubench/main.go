@@ -10,6 +10,7 @@
 //	apubench -workload gemm -dtype fp8 -sparse
 //	apubench -exp fig20            # run one registry experiment
 //	apubench -exp rasecc -telemetry ecc.json -sample-ns 100000
+//	apubench -exp spanmem -spans spans.json -span-sample 0.5
 //	apubench -list-experiments     # enumerate the shared registry
 package main
 
@@ -38,20 +39,23 @@ func main() {
 	retries := flag.Int("retries", 0, "with -exp: re-run a failing experiment up to N more times on fresh engines")
 	telemetryOut := flag.String("telemetry", "", "with -exp: write the run's sampled telemetry series (JSON)")
 	sampleNS := flag.Int64("sample-ns", 0, "with -exp: telemetry sampling cadence in simulated nanoseconds (0 = default)")
+	spansOut := flag.String("spans", "", "with -exp: write the run's causal span dump (JSON)")
+	spanSample := flag.Float64("span-sample", 1, "with -exp: span head-sampling rate in (0, 1]")
 	flag.Parse()
 
 	if *listExp {
 		fmt.Print(apusim.Experiments().List())
 		return
 	}
-	if *exp == "" && (*telemetryOut != "" || *sampleNS != 0) {
-		fmt.Fprintln(os.Stderr, "apubench: -telemetry and -sample-ns require -exp (registry experiments own the sampled engines)")
+	if *exp == "" && (*telemetryOut != "" || *sampleNS != 0 || *spansOut != "") {
+		fmt.Fprintln(os.Stderr, "apubench: -telemetry, -sample-ns, and -spans require -exp (registry experiments own the sampled engines)")
 		os.Exit(2)
 	}
 	if *exp != "" {
 		suite, err := apusim.Experiments().RunSuite(runner.Options{
 			Parallel: 1, IDs: []string{*exp}, Retries: *retries,
 			SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
+			SpanSample:  *spanSample,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apubench: %v (use -list-experiments)\n", err)
@@ -71,6 +75,19 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "apubench: telemetry:", err)
+				os.Exit(1)
+			}
+		}
+		if *spansOut != "" {
+			f, err := os.Create(*spansOut)
+			if err == nil {
+				err = suite.WriteSpanRuns(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apubench: spans:", err)
 				os.Exit(1)
 			}
 		}

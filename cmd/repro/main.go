@@ -19,6 +19,9 @@
 //	repro -faults plan.json    # inject a RAS fault plan into an MI300A run
 //	repro -telemetry out.json  # write sampled telemetry series for runs that record them
 //	repro -sample-ns 100000    # telemetry sampling cadence (simulated ns)
+//	repro -spans spans.json    # write causal span dumps for runs that record them
+//	repro -span-sample 0.25    # span head-sampling rate
+//	repro -prom metrics.prom   # write final telemetry in Prometheus text format
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	apusim "repro"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +50,9 @@ func main() {
 	faults := flag.String("faults", "", "JSON RAS fault plan: run it against an MI300A platform as experiment \"faultplan\"")
 	telemetryOut := flag.String("telemetry", "", "write sampled telemetry series (JSON) for runs that record them")
 	sampleNS := flag.Int64("sample-ns", 0, "telemetry sampling cadence in simulated nanoseconds (0 = default)")
+	spansOut := flag.String("spans", "", "write causal span dumps (JSON) for runs that record them")
+	spanSample := flag.Float64("span-sample", 1, "span head-sampling rate in (0, 1]; outside that range traces everything")
+	promOut := flag.String("prom", "", "write final telemetry state in Prometheus text exposition format")
 	flag.Parse()
 
 	if *tracePrefix != "" {
@@ -101,6 +108,7 @@ func main() {
 		Timeout:     *timeout,
 		Retries:     *retries,
 		SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
+		SpanSample:  *spanSample,
 		OnResult: func(r runner.Result) {
 			if err := runner.WriteResult(os.Stdout, r); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
@@ -133,6 +141,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: spans: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *promOut != "" {
+		if err := writeProm(*promOut, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: prom: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed := suite.Failed(); len(failed) > 0 {
 		for _, r := range failed {
 			fmt.Fprintf(os.Stderr, "repro: %s failed (%s): %v\n", r.ID, r.Status, r.Err)
@@ -162,6 +182,41 @@ func writeTelemetry(path string, suite *runner.SuiteResult) error {
 		return err
 	}
 	if err := suite.WriteTelemetryRuns(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSpans writes the causal span dumps of every span-bearing run —
+// in registration order, so the file is byte-identical at any -parallel
+// degree.
+func writeSpans(path string, suite *runner.SuiteResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteSpanRuns(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeProm writes each telemetry-bearing run's final state in
+// Prometheus text exposition format, labeled by run ID.
+func writeProm(path string, suite *runner.SuiteResult) error {
+	var runs []telemetry.PromRun
+	for _, r := range suite.Results {
+		if r.TelemetryDump != nil {
+			runs = append(runs, telemetry.PromRun{ID: r.ID, Dump: r.TelemetryDump})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePromRuns(f, runs); err != nil {
 		f.Close()
 		return err
 	}

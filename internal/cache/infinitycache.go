@@ -79,6 +79,11 @@ func (ic *InfinityCache) Stats() Stats {
 type AccessResult struct {
 	Hit  bool
 	Done sim.Time
+	// Begin is when the slice actually began serving the request — after
+	// the hit latency and any port-queue wait behind earlier traffic.
+	// Done - Begin is pure service time; Begin - (request arrival) is
+	// queueing, which the span-tracing layer reports separately.
+	Begin sim.Time
 	// HBMBytes is residual traffic that must still go to the HBM channel
 	// (the miss fill plus any dirty writeback).
 	HBMBytes int64
@@ -103,7 +108,7 @@ func (ic *InfinityCache) Access(start sim.Time, ch int, addr, nbytes int64, writ
 	done := begin + sim.FromSeconds(float64(nbytes)/ic.sliceBW)
 	ic.busyUntil[ch] = done
 
-	out := AccessResult{Hit: res.Hit, Done: done}
+	out := AccessResult{Hit: res.Hit, Done: done, Begin: begin}
 	if !res.Hit {
 		out.HBMBytes = ic.lineSize
 		if res.Writeback {

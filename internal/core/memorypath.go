@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/config"
 	"repro/internal/fabric"
+	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // This file implements the timing of every memory path in the package:
@@ -33,6 +37,40 @@ func (p *Platform) memAccess(start sim.Time, src fabric.NodeID, addr, bytes int6
 	if bytes <= 0 {
 		return start
 	}
+	// Span tracing: one root per transaction, one child per segment the
+	// bytes cross (each link hop, the cache slice, each HBM channel
+	// occupancy). Every callback below is nil unless this transaction was
+	// sampled, so an untraced run does no extra work beyond the checks.
+	var root spans.Ref
+	var hopObs fabric.HopObserver
+	var hbmObs mem.AccessObserver
+	if p.spans.Enabled() {
+		op := "mem.read"
+		if write {
+			op = "mem.write"
+		}
+		root = p.spans.Root(spans.KindMem, op, start)
+	}
+	if root.Valid() {
+		root.Annotate("src", p.Net.Node(src).Name)
+		root.Annotate("bytes", fmt.Sprintf("%d", bytes))
+		hopObs = func(l *fabric.Link, txStart, txEnd sim.Time) {
+			c := root.Child(spans.StageFabric, l.Name, txStart, txEnd)
+			if l.State() != fabric.LinkUp {
+				c.Annotate("link.state", l.State().String())
+			}
+		}
+		hbmObs = func(hashedCh, servedCh int, s, e sim.Time, retry bool) {
+			stage := spans.StageHBM
+			if retry {
+				stage = spans.StageHBMECC
+			}
+			c := root.Child(stage, fmt.Sprintf("hbm.ch%d", servedCh), s, e)
+			if servedCh != hashedCh {
+				c.Annotate("rerouted", fmt.Sprintf("ch%d->ch%d", hashedCh, servedCh))
+			}
+		}
+	}
 	end := start
 	for off := int64(0); off < bytes; off += memChunk {
 		n := int64(memChunk)
@@ -55,7 +93,7 @@ func (p *Platform) memAccess(start sim.Time, src fabric.NodeID, addr, bytes int6
 		// Fabric stage: source chiplet → the IOD owning the stack →
 		// stack PHY. Crossing IODs rides the USR mesh and contends there.
 		done := start
-		if t, err := p.Net.Transfer(start, src, p.HBMNode(stack), n); err == nil {
+		if t, err := p.Net.TransferObserved(start, src, p.HBMNode(stack), n, hopObs); err == nil {
 			done = t
 		}
 		// Memory-side cache stage.
@@ -63,12 +101,23 @@ func (p *Platform) memAccess(start sim.Time, src fabric.NodeID, addr, bytes int6
 		if p.InfCache != nil {
 			ch := p.HBM.Map.Channel(a)
 			res := p.InfCache.Access(done, ch, a, n, write)
+			if root.Valid() {
+				result := "miss"
+				if res.Hit {
+					result = "hit"
+				}
+				c := root.Child(spans.StageCache, fmt.Sprintf("mall%d", ch), done, res.Done,
+					spans.Attr{Key: "result", Val: result})
+				if wait := res.Begin - done; wait > 0 {
+					c.Annotate("queue_ns", fmt.Sprintf("%.3f", wait.Nanoseconds()))
+				}
+			}
 			done = res.Done
 			hbmBytes = res.HBMBytes
 		}
 		// HBM channel stage for the residual traffic.
 		if hbmBytes > 0 {
-			if t := p.HBM.Access(done, a, hbmBytes, write); t > done {
+			if t := p.HBM.AccessObserved(done, a, hbmBytes, write, hbmObs); t > done {
 				done = t
 			}
 		}
@@ -76,6 +125,7 @@ func (p *Platform) memAccess(start sim.Time, src fabric.NodeID, addr, bytes int6
 			end = done
 		}
 	}
+	root.Finish(end)
 	return end
 }
 

@@ -2,11 +2,13 @@ package core
 
 import (
 	"repro/internal/config"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
 // BuildOptions configures platform assembly. The apusim facade's
-// functional options (WithSeed, WithTelemetry) reduce to this struct.
+// functional options (WithSeed, WithTelemetry, WithSpans) reduce to
+// this struct.
 type BuildOptions struct {
 	// HarvestSeed seeds the deterministic CU-harvesting RNG; 0 selects
 	// the historical default, so existing platforms are bit-identical.
@@ -14,11 +16,14 @@ type BuildOptions struct {
 	// Telemetry, when non-nil, has every component probe registered on it
 	// (see Instrument).
 	Telemetry *telemetry.Recorder
+	// Spans, when non-nil, records causal span trees for memory
+	// transactions and AQL dispatches.
+	Spans *spans.Recorder
 }
 
 // NewPlatformWith assembles a platform with explicit build options.
 func NewPlatformWith(spec *config.PlatformSpec, opts BuildOptions) (*Platform, error) {
-	p, err := newPlatform(spec, opts.HarvestSeed)
+	p, err := newPlatform(spec, opts.HarvestSeed, opts.Spans)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // Platform is a fully assembled processor package (plus host, when the
@@ -65,6 +66,10 @@ type Platform struct {
 	gov *Governor
 	// harvestSeed drives deterministic CU harvesting (0 = default).
 	harvestSeed uint64
+	// spans, when non-nil, records causal span trees on the memory and
+	// dispatch hot paths (BuildOptions.Spans). Nil costs the hot paths
+	// one pointer check.
+	spans *spans.Recorder
 
 	// Fabric node handles.
 	iodNodes  []fabric.NodeID
@@ -83,16 +88,17 @@ const hbmLatency = 120 * sim.Nanosecond
 // NewPlatform assembles a platform from its spec with default build
 // options (see NewPlatformWith in observe.go for the configurable form).
 func NewPlatform(spec *config.PlatformSpec) (*Platform, error) {
-	return newPlatform(spec, 0)
+	return newPlatform(spec, 0, nil)
 }
 
 // newPlatform assembles a platform; harvestSeed 0 selects the historical
-// default CU-harvesting seed.
-func newPlatform(spec *config.PlatformSpec, harvestSeed uint64) (*Platform, error) {
+// default CU-harvesting seed. sp must be threaded in here (not set after
+// construction) because buildCompute copies it into the GPU ExecEnv.
+func newPlatform(spec *config.PlatformSpec, harvestSeed uint64, sp *spans.Recorder) (*Platform, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Platform{Spec: spec, Net: fabric.New(), harvestSeed: harvestSeed}
+	p := &Platform{Spec: spec, Net: fabric.New(), harvestSeed: harvestSeed, spans: sp}
 
 	// Memory system.
 	p.HBM = mem.NewHBM(spec.HBM.Generation, spec.HBM.Stacks, spec.HBM.ChannelsStack,
@@ -278,6 +284,7 @@ func (p *Platform) buildCompute() {
 	env := &gpu.ExecEnv{
 		Mem:     p.DeviceMem,
 		MemTime: p.GPUMemTime,
+		Spans:   p.spans,
 		SignalTime: func(start sim.Time, from, to int) sim.Time {
 			if from == to || from >= len(p.xcdNodes) || to >= len(p.xcdNodes) {
 				return start + 10*sim.Nanosecond
@@ -318,9 +325,13 @@ func (p *Platform) NewPartitionOf(name string, xcdIdx []int, policy gpu.Policy) 
 		}
 		xs = append(xs, p.XCDs[i])
 	}
-	env := &gpu.ExecEnv{Mem: p.DeviceMem, MemTime: p.GPUMemTime}
+	env := &gpu.ExecEnv{Mem: p.DeviceMem, MemTime: p.GPUMemTime, Spans: p.spans}
 	return gpu.NewPartition(name, xs, env, policy), nil
 }
+
+// SpanRecorder reports the platform's span recorder (nil when the
+// platform was built without BuildOptions.Spans).
+func (p *Platform) SpanRecorder() *spans.Recorder { return p.spans }
 
 // NewQueue returns a user-mode AQL queue sized for the platform.
 func (p *Platform) NewQueue(name string) *hsa.Queue { return hsa.NewQueue(name, 64) }

@@ -361,16 +361,34 @@ func (n *Network) bfs(src, dst NodeID) ([]*Link, error) {
 // earlier traffic on each link. It returns the completion time of the last
 // byte at dst.
 func (n *Network) Transfer(start sim.Time, src, dst NodeID, bytes int64) (sim.Time, error) {
+	return n.TransferObserved(start, src, dst, bytes, nil)
+}
+
+// HopObserver receives one callback per link of an observed transfer:
+// the link, when its serialization began (after queueing behind earlier
+// traffic), and when the payload's tail cleared the link plus its
+// latency. The span-tracing layer uses it to record per-link
+// serialization child spans without perturbing the timing model.
+type HopObserver func(l *Link, txStart, txEnd sim.Time)
+
+// TransferObserved is Transfer with an optional per-hop observer; a nil
+// observer makes it exactly Transfer.
+func (n *Network) TransferObserved(start sim.Time, src, dst NodeID, bytes int64, obs HopObserver) (sim.Time, error) {
 	path, err := n.Route(src, dst)
 	if err != nil {
 		return 0, err
 	}
-	return n.TransferPath(start, path, bytes), nil
+	return n.TransferPathObserved(start, path, bytes, obs), nil
 }
 
 // TransferPath is Transfer over an explicit path (useful once a route has
 // been resolved and reused).
 func (n *Network) TransferPath(start sim.Time, path []*Link, bytes int64) sim.Time {
+	return n.TransferPathObserved(start, path, bytes, nil)
+}
+
+// TransferPathObserved is TransferPath with an optional per-hop observer.
+func (n *Network) TransferPathObserved(start sim.Time, path []*Link, bytes int64, obs HopObserver) sim.Time {
 	arrive := start
 	end := start
 	for _, l := range path {
@@ -389,6 +407,9 @@ func (n *Network) TransferPath(start sim.Time, path []*Link, bytes int64) sim.Ti
 		arrive = txStart + l.Latency
 		if txEnd+l.Latency > end {
 			end = txEnd + l.Latency
+		}
+		if obs != nil {
+			obs(l, txStart, txEnd+l.Latency)
 		}
 	}
 	return end

@@ -13,6 +13,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // ExecEnv is the environment a kernel executes in: the functional memory
@@ -28,6 +29,9 @@ type ExecEnv struct {
 	// SignalTime returns the delivery time of a high-priority sync
 	// message between two XCDs' ACEs. Nil means a fixed small latency.
 	SignalTime func(start sim.Time, fromXCD, toXCD int) sim.Time
+	// Spans, when non-nil, records one causal root span per dispatch with
+	// per-stage children (decode, execute, sync, completion).
+	Spans *spans.Recorder
 }
 
 func (e *ExecEnv) memTime(start sim.Time, xcd int, bytes int64, write bool) sim.Time {

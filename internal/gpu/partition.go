@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hsa"
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // ErrNoCompute reports that a dispatch found no XCD able to execute work:
@@ -194,6 +195,20 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 	wgSize := pkt.Workgroup.Count()
 	assignment := p.assign(nWG, live)
 
+	// Span tracing: reuse the producer's root when the packet carries one
+	// (its sampling decision is already made); otherwise offer a fresh
+	// root candidate for this dispatch.
+	root := pkt.Span
+	if !root.Attached() && p.env.Spans.Enabled() {
+		root = p.env.Spans.Root(spans.KindDispatch, "dispatch:"+pkt.KernelName, now)
+	}
+	if root.Valid() {
+		root.Annotate("partition", p.Name)
+		root.Annotate("policy", p.Policy.String())
+		root.Annotate("workgroups", fmt.Sprintf("%d", nWG))
+		root.Annotate("live_xcds", fmt.Sprintf("%d", len(live)))
+	}
+
 	// ① Every live XCD's ACE reads and decodes the AQL packet.
 	// ② Each sets up its local microarchitecture and launches its subset.
 	// ③④ Completion synchronization to the nominated XCD (first live die).
@@ -210,6 +225,14 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 			arrive = p.env.signalTime(subsetDone, x.ID, p.xcds[nominated].ID)
 			x.stats.SyncMessages++
 		}
+		if root.Valid() {
+			root.Child(spans.StageDecode, fmt.Sprintf("xcd%d.decode", x.ID), now, decoded)
+			root.Child(spans.StageExecute, fmt.Sprintf("xcd%d.execute", x.ID), decoded, subsetDone,
+				spans.Attr{Key: "workgroups", Val: fmt.Sprintf("%d", len(assignment[i]))})
+			if i != nominated {
+				root.Child(spans.StageSync, fmt.Sprintf("xcd%d.sync", x.ID), subsetDone, arrive)
+			}
+		}
 		if arrive > kernelDone {
 			kernelDone = arrive
 		}
@@ -218,7 +241,11 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 	p.kernelsDone++
 	if pkt.Completion != nil {
 		pkt.Completion.Sub(kernelDone, 1)
+		if root.Valid() {
+			root.Child(spans.StageComplete, "signal:"+pkt.Completion.Name, kernelDone, kernelDone)
+		}
 	}
+	root.Finish(kernelDone)
 	return kernelDone, nil
 }
 
@@ -289,6 +316,18 @@ func (p *Partition) Dispatch(now sim.Time, k *KernelSpec, items, wgSize int, ker
 	}
 	q := hsa.NewQueue(p.Name+".q", 2)
 	sig := hsa.NewSignal(k.Name+".done", 1)
+	// Open the dispatch root at enqueue time so the trace covers the full
+	// submission path; the doorbell ring marks the end of the enqueue stage.
+	var root spans.Ref
+	if p.env.Spans.Enabled() {
+		root = p.env.Spans.Root(spans.KindDispatch, "dispatch:"+k.Name, now)
+	}
+	if root.Valid() {
+		root.Annotate("queue", q.Name)
+	}
+	q.Doorbell = func(uint64) {
+		root.Child(spans.StageEnqueue, "doorbell:"+q.Name, now, now)
+	}
 	err := q.Enqueue(hsa.Packet{
 		Type:         hsa.PacketKernelDispatch,
 		KernelName:   k.Name,
@@ -297,6 +336,7 @@ func (p *Partition) Dispatch(now sim.Time, k *KernelSpec, items, wgSize int, ker
 		KernelObject: k,
 		KernargAddr:  kernarg,
 		Completion:   sig,
+		Span:         root,
 	})
 	if err != nil {
 		return now, err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // PacketType enumerates the AQL packet kinds the model supports.
@@ -56,6 +57,11 @@ type Packet struct {
 	Completion    *Signal
 	BarrierDeps   []*Signal // for PacketBarrierAnd
 	GroupSegBytes int64     // LDS bytes per workgroup
+	// Span carries the producer's tracing context across the queue: when
+	// the enqueuing side opened a dispatch root span, the packet processor
+	// records its decode/execute/sync stages under it instead of opening a
+	// second root. The zero value means "no context" and costs nothing.
+	Span spans.Ref
 }
 
 // Workgroups reports how many workgroups the dispatch launches (grid

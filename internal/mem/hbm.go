@@ -231,21 +231,42 @@ func (h *HBM) ECCEvents() uint64 {
 // channels proceed in parallel — this is the bandwidth-amplification
 // mechanism of the fine interleave (§IV.D).
 func (h *HBM) Access(start sim.Time, addr, nbytes int64, write bool) sim.Time {
+	return h.AccessObserved(start, addr, nbytes, write, nil)
+}
+
+// AccessObserver receives one callback per channel occupancy of an
+// observed access: the channel the interleave hashed to, the live channel
+// that actually served it (different only after RAS retirement), the
+// occupancy interval, and whether this occupancy was an ECC-retry
+// re-transfer. The span-tracing layer records HBM child spans through it.
+type AccessObserver func(hashedCh, servedCh int, start, end sim.Time, retry bool)
+
+// AccessObserved is Access with an optional per-channel observer; a nil
+// observer makes it exactly Access.
+func (h *HBM) AccessObserved(start sim.Time, addr, nbytes int64, write bool, obs AccessObserver) sim.Time {
 	if nbytes <= 0 {
 		return start
 	}
 	end := start
 	pos := addr
 	h.Map.GranuleSpan(addr, nbytes, func(ch int, chunk int64) {
-		ch = h.liveChannel(ch)
-		c := h.channels[ch]
-		done := c.OccupyAt(start+h.Latency, pos, chunk, write)
+		served := h.liveChannel(ch)
+		c := h.channels[served]
+		issue := start + h.Latency
+		done := c.OccupyAt(issue, pos, chunk, write)
+		if obs != nil {
+			obs(ch, served, issue, done, false)
+		}
 		if h.eccRate > 0 && h.eccRNG != nil && h.eccRNG.Float64() < h.eccRate {
 			// A correctable error forces a retry: after the correction
 			// latency the chunk re-arbitrates for the channel and transfers
 			// again, consuming bandwidth as a real retry would.
 			c.eccEvents++
-			done = c.OccupyAt(done+h.eccPenalty, pos, chunk, write)
+			retryAt := done + h.eccPenalty
+			done = c.OccupyAt(retryAt, pos, chunk, write)
+			if obs != nil {
+				obs(ch, served, retryAt, done, true)
+			}
 		}
 		pos += chunk
 		if done > end {

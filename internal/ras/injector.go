@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/spans"
 )
 
 // Targets names the model instances a plan injects into. Any field may be
@@ -18,6 +19,9 @@ type Targets struct {
 	HBM  *mem.HBM
 	XCDs []*gpu.XCD
 	GPU  *gpu.Partition
+	// Spans, when non-nil, gets one global event per fired fault so span
+	// dumps carry the fault timeline alongside the spans it perturbed.
+	Spans *spans.Recorder
 }
 
 // Applied records one fault that has fired.
@@ -139,6 +143,7 @@ func (in *Injector) apply(f Fault, t Targets, rng *sim.RNG, now sim.Time) {
 		return
 	}
 	in.applied = append(in.applied, Applied{Fault: f, At: now, Summary: f.describe()})
+	t.Spans.RecordEvent(now, "ras.fault", f.describe())
 }
 
 // setLinks fails or derates every link between the fault's two nodes.

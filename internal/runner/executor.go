@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
@@ -59,6 +60,9 @@ type Result struct {
 	// TelemetryDump is the full deterministic columnar store for the same
 	// runs, for callers writing CSV/JSON series files.
 	TelemetryDump *telemetry.Dump
+	// Spans is the causal-span dump (with critical-path attribution),
+	// set only when the run built a recorder via Ctx.Spans.
+	Spans *spans.Dump
 }
 
 // Failed reports whether the run ended abnormally. A degraded run is not a
@@ -83,6 +87,10 @@ type Options struct {
 	// context; 0 selects telemetry.DefaultCadence. It only matters for
 	// experiments that call Ctx.Telemetry/ArmSampler.
 	SampleEvery sim.Time
+	// SpanSample is the span head-sampling rate handed to each run's
+	// context; values outside (0, 1] select 1 (trace every root). It only
+	// matters for experiments that call Ctx.Spans.
+	SpanSample float64
 	// OnResult, when set, is called once per experiment in registration
 	// order as soon as the result (and all earlier ones) are available,
 	// so callers can stream deterministic output while later experiments
@@ -264,7 +272,7 @@ func runAttempt(e Experiment, opts Options) Result {
 	timeout := opts.Timeout
 	done := make(chan Result, 1)
 	go func() {
-		ctx := newCtx(e.ID, opts.SampleEvery)
+		ctx := newCtx(e.ID, opts.SampleEvery, opts.SpanSample)
 		res := Result{ID: e.ID, Desc: e.Desc, Status: StatusOK}
 		start := time.Now()
 		// A completion sentinel stays queued unless the run finishes
@@ -287,6 +295,9 @@ func runAttempt(e Experiment, opts Options) Result {
 			if rec := ctx.recorder(); rec != nil {
 				res.TelemetryDump = rec.Dump()
 				res.Telemetry = rec.Summary()
+			}
+			if sr := ctx.spanRecorder(); sr != nil {
+				res.Spans = sr.Dump()
 			}
 			done <- res
 		}()

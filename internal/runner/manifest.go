@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/metrics"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
@@ -58,6 +59,9 @@ type ExperimentRecord struct {
 	// experiments that recorded telemetry; omitted otherwise, so v1
 	// manifest readers are unaffected.
 	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+	// Spans is the run's critical-path latency attribution, present only
+	// for experiments that recorded spans; omitted otherwise.
+	Spans *spans.Attribution `json:"spans,omitempty"`
 }
 
 // BuildManifest converts a suite result into its manifest form.
@@ -90,6 +94,9 @@ func BuildManifest(s *SuiteResult) *Manifest {
 			Attempts:      r.Attempts,
 			Faults:        r.Faults,
 			Telemetry:     r.Telemetry,
+		}
+		if r.Spans != nil {
+			rec.Spans = r.Spans.Attribution
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -128,6 +135,35 @@ func (s *SuiteResult) WriteTelemetryRuns(w io.Writer) error {
 	for _, r := range s.Results {
 		if r.TelemetryDump != nil {
 			out.Runs = append(out.Runs, telemetryRun{ID: r.ID, Series: r.TelemetryDump})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SpanRunsSchema identifies the span trace file (-spans) layout: one full
+// span dump per span-bearing run.
+const SpanRunsSchema = "apusim-spans-runs/v1"
+
+// spanRun pairs an experiment ID with its full span dump.
+type spanRun struct {
+	ID    string      `json:"id"`
+	Spans *spans.Dump `json:"spans"`
+}
+
+// WriteSpanRuns writes every span-bearing run's full dump as indented
+// JSON, in registration order. Span dumps contain only simulated-time
+// data, so the output is byte-identical across repeated runs and
+// parallelism degrees for a fixed seed and fault plan.
+func (s *SuiteResult) WriteSpanRuns(w io.Writer) error {
+	out := struct {
+		Schema string    `json:"schema"`
+		Runs   []spanRun `json:"runs"`
+	}{Schema: SpanRunsSchema, Runs: []spanRun{}}
+	for _, r := range s.Results {
+		if r.Spans != nil {
+			out.Runs = append(out.Runs, spanRun{ID: r.ID, Spans: r.Spans})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -14,10 +14,12 @@ package runner
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +36,8 @@ type Ctx struct {
 	eng         *sim.Engine
 	sampleEvery sim.Time
 	telem       *telemetry.Recorder
+	spanSample  float64
+	spanRec     *spans.Recorder
 
 	mu         sync.Mutex
 	milestones []string
@@ -41,8 +45,8 @@ type Ctx struct {
 	degraded   bool
 }
 
-func newCtx(id string, sampleEvery sim.Time) *Ctx {
-	return &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: sampleEvery}
+func newCtx(id string, sampleEvery sim.Time, spanSample float64) *Ctx {
+	return &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: sampleEvery, spanSample: spanSample}
 }
 
 // ID reports the experiment ID this context belongs to.
@@ -104,6 +108,24 @@ func (c *Ctx) ArmSampler(until sim.Time) int {
 
 // recorder returns the recorder if the run built one, without creating it.
 func (c *Ctx) recorder() *telemetry.Recorder { return c.telem }
+
+// Spans returns the run's span recorder, building it on first use.
+// The seed derives only from the experiment ID (FNV-64a), so a run's
+// TraceIDs and sampling decisions are identical across suite invocations
+// and parallelism degrees. The sampling rate comes from
+// Options.SpanSample; runs that never call this pay nothing.
+func (c *Ctx) Spans() *spans.Recorder {
+	if c.spanRec == nil {
+		h := fnv.New64a()
+		h.Write([]byte(c.id))
+		c.spanRec = spans.NewRecorder(h.Sum64(), c.spanSample)
+	}
+	return c.spanRec
+}
+
+// spanRecorder returns the span recorder if the run built one, without
+// creating it.
+func (c *Ctx) spanRecorder() *spans.Recorder { return c.spanRec }
 
 // RecordFault notes an injected-fault summary (e.g. "link-down IOD-A<->IOD-B
 // at 1µs"). The summaries land in the run's Result and manifest record, so

@@ -192,7 +192,7 @@ func (e *Engine) Schedule(at Time, fn Handler) EventID {
 // handler wall time per subsystem (e.g. "ras.fault", "telemetry.sample").
 func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+		panic(fmt.Sprintf("sim: scheduling %q event at %v before now %v", class, at, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil handler")
@@ -213,11 +213,11 @@ func (e *Engine) SetHook(h Hook) { e.hook = h }
 // (including cancelled events not yet reaped).
 func (e *Engine) QueueHighWater() int { return e.hwm }
 
-// After queues fn to run d picoseconds from now.
+// After queues fn to run d picoseconds from now. A negative d panics via
+// Schedule with the class name in the message — an earlier version
+// silently clamped it to 0, which hid causality bugs until the stale
+// event fired far from the buggy caller.
 func (e *Engine) After(d Time, fn Handler) EventID {
-	if d < 0 {
-		d = 0
-	}
 	return e.Schedule(e.now+d, fn)
 }
 

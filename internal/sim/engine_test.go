@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -478,4 +480,38 @@ func TestQueueHighWater(t *testing.T) {
 	if e.QueueHighWater() != 5 {
 		t.Errorf("high water dropped to %d", e.QueueHighWater())
 	}
+}
+
+func TestPastSchedulingPanicNamesEventClass(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleNamed("warmup", 100, func(Time) {})
+	e.RunAll()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ScheduleNamed in the past did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, `"ras.fault"`) {
+			t.Errorf("panic %q does not name the event class", msg)
+		}
+		if !strings.Contains(msg, "50ps") || !strings.Contains(msg, "100ps") {
+			t.Errorf("panic %q does not report the requested and current times", msg)
+		}
+	}()
+	e.ScheduleNamed("ras.fault", 50, func(Time) {})
+}
+
+func TestAfterNegativeDelayPanics(t *testing.T) {
+	// After used to clamp negative delays to "now", silently reordering
+	// causality; it must now panic like any past-scheduling attempt.
+	e := NewEngine()
+	e.Schedule(100, func(Time) {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("After with a negative delay did not panic")
+		}
+	}()
+	e.After(-10, func(Time) {})
 }

@@ -1,0 +1,224 @@
+package spans
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestNilRecorderAndZeroRefAreInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports Enabled")
+	}
+	ref := r.Root(KindMem, "x", 0)
+	if ref.Attached() || ref.Valid() {
+		t.Errorf("nil recorder Root = %+v, want fully inert Ref", ref)
+	}
+	// Every method must no-op without panicking.
+	r.SetSampleRate(0.5)
+	r.RecordEvent(0, "c", "d")
+	if r.SampleRate() != 0 || r.RootsSeen() != 0 || r.RootsSampled() != 0 {
+		t.Error("nil recorder reports nonzero state")
+	}
+	if r.Spans() != nil || r.Events() != nil || r.Dump() != nil || r.Attribution() != nil {
+		t.Error("nil recorder returned non-nil data")
+	}
+	child := ref.Child(StageFabric, "hop", 0, 10)
+	child.Annotate("k", "v")
+	child.Finish(20)
+	if child.Valid() {
+		t.Error("child of inert Ref is Valid")
+	}
+}
+
+func TestUnsampledRootIsAttachedButNotValid(t *testing.T) {
+	// Rate ~0: every candidate loses the draw but stays Attached, so a
+	// consumer receiving the Ref through a carrier knows the sampling
+	// decision was already made.
+	r := NewRecorder(1, 1e-12)
+	ref := r.Root(KindDispatch, "d", 0)
+	if !ref.Attached() {
+		t.Error("unsampled Root not Attached")
+	}
+	if ref.Valid() {
+		t.Error("unsampled Root is Valid")
+	}
+	if r.RootsSeen() != 1 || r.RootsSampled() != 0 {
+		t.Errorf("seen/sampled = %d/%d, want 1/0", r.RootsSeen(), r.RootsSampled())
+	}
+}
+
+func TestSamplingIsDeterministicAndDecorrelated(t *testing.T) {
+	decisions := func(seed uint64, rate float64, n int) []bool {
+		r := NewRecorder(seed, rate)
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			out[i] = r.Root(KindMem, "m", sim.Time(i)).Valid()
+		}
+		return out
+	}
+	a := decisions(42, 0.5, 200)
+	b := decisions(42, 0.5, 200)
+	var sampled int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d decided differently across identical recorders", i)
+		}
+		if a[i] {
+			sampled++
+		}
+	}
+	if sampled == 0 || sampled == 200 {
+		t.Errorf("rate 0.5 sampled %d/200 roots", sampled)
+	}
+	// Decorrelation: the decision for candidate i depends only on (seed, i),
+	// so an extra unsampled subsystem candidate in between must not shift
+	// later candidates' outcomes... which is equivalent to: decisions are a
+	// pure function of the candidate index. Verify against a third recorder
+	// that burns the same indices via a different root kind/name.
+	r := NewRecorder(42, 0.5)
+	for i := 0; i < 200; i++ {
+		if got := r.Root(KindDispatch, "other-name", 99).Valid(); got != a[i] {
+			t.Fatalf("candidate %d decision depends on kind/name/time, not index", i)
+		}
+	}
+}
+
+func TestChildSwapsReversedInterval(t *testing.T) {
+	r := NewRecorder(1, 1)
+	root := r.Root(KindMem, "m", 0)
+	root.Child(StageHBM, "ch0", 30, 10)
+	s := r.Spans()
+	if s[1].Start != 10 || s[1].End != 30 {
+		t.Errorf("reversed child = [%v, %v], want [10ps, 30ps]", s[1].Start, s[1].End)
+	}
+}
+
+// buildTestTrees records two mem roots and one dispatch root with
+// overlapping children and deliberate gaps, exercising every attribution
+// case: parallel children, a child crossing the root start, and windows
+// no child covers.
+func buildTestTrees(r *Recorder) {
+	m1 := r.Root(KindMem, "mem.read", 0)
+	m1.Child(StageFabric, "hop0", 0, 100)
+	m1.Child(StageCache, "mall0", 100, 250)
+	// Two HBM chunks in parallel; the longer one gates completion.
+	m1.Child(StageHBM, "ch0", 250, 400)
+	m1.Child(StageHBM, "ch1", 250, 500)
+	m1.Finish(500)
+
+	m2 := r.Root(KindMem, "mem.write", 1000)
+	m2.Child(StageFabric, "hop0", 900, 1100) // reaches back before the root start
+	// Gap [1100, 1200] -> untracked.
+	m2.Child(StageHBM, "ch2", 1200, 1600)
+	m2.Finish(1600)
+
+	d := r.Root(KindDispatch, "dispatch:k", 2000)
+	d.Child(StageDecode, "xcd0.decode", 2000, 2050)
+	d.Child(StageExecute, "xcd0.execute", 2050, 2900)
+	d.Child(StageSync, "xcd1.sync", 2900, 3000)
+	d.Finish(3000)
+	d.Annotate("partition", "spx")
+}
+
+func TestAttributionSumsMatchEndToEnd(t *testing.T) {
+	r := NewRecorder(7, 1)
+	buildTestTrees(r)
+	att := r.Attribution()
+	if len(att.Kinds) != 2 {
+		t.Fatalf("got %d kinds, want 2", len(att.Kinds))
+	}
+	for _, k := range att.Kinds {
+		var sum float64
+		for _, s := range k.Stages {
+			sum += s.TotalNS
+		}
+		// The backwards chain walk covers each root's whole window, so the
+		// per-stage totals must sum exactly to the end-to-end total.
+		if sum != k.TotalNS {
+			t.Errorf("kind %s: stage sum %g != end-to-end %g", k.Kind, sum, k.TotalNS)
+		}
+	}
+}
+
+func TestAttributionCriticalChain(t *testing.T) {
+	r := NewRecorder(7, 1)
+	buildTestTrees(r)
+	att := r.Attribution()
+	var mem *KindAttribution
+	for i := range att.Kinds {
+		if att.Kinds[i].Kind == KindMem {
+			mem = &att.Kinds[i]
+		}
+	}
+	if mem == nil {
+		t.Fatal("no mem kind")
+	}
+	want := map[string]float64{
+		// m1: fabric 100 + cache 150 + hbm 250 (ch1 gates; ch0 never on the
+		// chain). m2: fabric 100 (clamped to the root start) + untracked 100
+		// + hbm 400.
+		StageFabric:    0.2,
+		StageCache:     0.15,
+		StageHBM:       0.65,
+		StageUntracked: 0.1,
+	}
+	got := make(map[string]float64)
+	for _, s := range mem.Stages {
+		got[s.Stage] = s.TotalNS
+	}
+	for stage, ns := range want {
+		if got[stage] != ns {
+			t.Errorf("stage %s = %g ns on the critical chain, want %g", stage, got[stage], ns)
+		}
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		r := NewRecorder(7, 1)
+		buildTestTrees(r)
+		r.RecordEvent(1500, "ras.fault", "ecc-storm")
+		var buf bytes.Buffer
+		if err := r.Dump().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical recorders dumped different bytes")
+	}
+	d := func() *Dump { r := NewRecorder(7, 1); buildTestTrees(r); return r.Dump() }()
+	if d.Schema != DumpSchema || d.RootsSeen != 3 || d.RootsSampled != 3 {
+		t.Errorf("dump header = %+v", d)
+	}
+	if d.Attribution == nil {
+		t.Error("dump with spans carries no attribution")
+	}
+}
+
+func TestAddToTraceValidates(t *testing.T) {
+	r := NewRecorder(7, 1)
+	buildTestTrees(r)
+	// Zero-length roots render as instants and must not emit flows.
+	z := r.Root(KindDispatch, "empty", 5000)
+	z.Finish(5000)
+	tr := trace.New()
+	r.AddToTrace(tr, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("span trace invalid: %v", err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("AddToTrace recorded nothing")
+	}
+	var nilRec *Recorder
+	tr2 := trace.New()
+	nilRec.AddToTrace(tr2, 0)
+	if tr2.Len() != 0 {
+		t.Error("nil recorder added trace events")
+	}
+}

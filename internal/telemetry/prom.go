@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders telemetry dumps in the Prometheus text exposition
+// format (version 0.0.4), so a run's final state can be scraped into the
+// same dashboards that watch real fleets. Sampled series become gauges
+// reporting their final sample; engine handler-class counts become
+// cumulative counters. Everything emitted derives from simulated time, so
+// the output is deterministic for a fixed seed and fault plan.
+
+// promNamePrefix namespaces every exported metric.
+const promNamePrefix = "apusim_"
+
+// promName sanitizes a probe name into a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit
+// gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return promNamePrefix + b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a sample value.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// PromRun pairs a dump with the run label its samples carry; an empty ID
+// emits unlabeled samples (single-run exports).
+type PromRun struct {
+	ID   string
+	Dump *Dump
+}
+
+// promMetric accumulates one metric's samples across runs, so HELP/TYPE
+// lines appear exactly once per metric name as the format requires.
+type promMetric struct {
+	name    string
+	help    string
+	typ     string
+	samples []string
+}
+
+// WritePromRuns writes one or more runs' dumps in Prometheus text
+// exposition format. Each sampled series contributes a gauge holding its
+// final sample; engine handler classes contribute one counter series per
+// class. Multi-run exports distinguish runs with a run="<id>" label.
+func WritePromRuns(w io.Writer, runs []PromRun) error {
+	var order []string
+	byName := make(map[string]*promMetric)
+	add := func(name, help, typ, labels string, value float64) {
+		m := byName[name]
+		if m == nil {
+			m = &promMetric{name: name, help: help, typ: typ}
+			byName[name] = m
+			order = append(order, name)
+		}
+		m.samples = append(m.samples, fmt.Sprintf("%s%s %s", name, labels, promFloat(value)))
+	}
+	labelSet := func(runID string, extra ...string) string {
+		var parts []string
+		if runID != "" {
+			parts = append(parts, fmt.Sprintf("run=%q", promEscape(runID)))
+		}
+		parts = append(parts, extra...)
+		if len(parts) == 0 {
+			return ""
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	for _, run := range runs {
+		d := run.Dump
+		if d == nil {
+			continue
+		}
+		add(promNamePrefix+"telemetry_samples",
+			"Number of telemetry samples the run recorded.",
+			"gauge", labelSet(run.ID), float64(len(d.TimesNS)))
+		for _, s := range d.Series {
+			if len(s.Values) == 0 {
+				continue
+			}
+			add(promName(s.Name),
+				fmt.Sprintf("Final sampled value of probe %s (kind %s).", s.Name, s.Kind),
+				"gauge", labelSet(run.ID), s.Values[len(s.Values)-1])
+		}
+		if d.Engine != nil {
+			for _, c := range d.Engine.Classes {
+				add(promNamePrefix+"events_fired_total",
+					"Cumulative simulation events fired, by handler class.",
+					"counter",
+					labelSet(run.ID, fmt.Sprintf("class=%q", promEscape(c.Class))),
+					float64(c.Fired))
+			}
+			add(promNamePrefix+"event_queue_high_water",
+				"Deepest the run's event queue ever was.",
+				"gauge", labelSet(run.ID), float64(d.Engine.QueueHighWater))
+		}
+	}
+	var b strings.Builder
+	for _, name := range order {
+		m := byName[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, s := range m.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePromText writes this dump alone in Prometheus text exposition
+// format, with unlabeled samples.
+func (d *Dump) WritePromText(w io.Writer) error {
+	return WritePromRuns(w, []PromRun{{Dump: d}})
+}

@@ -1,9 +1,10 @@
 // Package trace exports simulated timelines in the Chrome trace-event
 // format (the JSON consumed by chrome://tracing and Perfetto), so program
 // step timelines, kernel dispatches, collective schedules, and sampled
-// telemetry series from the simulator can be inspected visually. Three
-// event phases are emitted: complete spans ('X'), zero-duration instants
-// ('i'), and counter samples ('C').
+// telemetry series from the simulator can be inspected visually. The
+// emitted event phases are: complete spans ('X'), zero-duration instants
+// ('i'), counter samples ('C'), and flow events ('s'/'t'/'f') that draw
+// causal arrows between spans across tracks.
 package trace
 
 import (
@@ -28,6 +29,11 @@ type Event struct {
 	TID   int     `json:"tid"`
 	// Scope is the instant-event scope ("t" = thread), set only on 'i'.
 	Scope string `json:"s,omitempty"`
+	// ID groups flow events ('s'/'t'/'f') into one flow; set only on them.
+	ID int64 `json:"id,omitempty"`
+	// BP is the flow binding point ("e" = bind to the enclosing slice),
+	// set only on flow events.
+	BP string `json:"bp,omitempty"`
 	// Args carries string annotations on spans/instants and numeric
 	// series values on counters.
 	Args map[string]any `json:"args,omitempty"`
@@ -85,6 +91,18 @@ func (t *Trace) Span(name, category string, pid, tid int, start, end sim.Time, a
 		TsUS:  start.Microseconds(),
 		DurUS: (end - start).Microseconds(),
 		PID:   pid, TID: tid, Args: a,
+	})
+}
+
+// Flow records one flow event: phase "s" (start), "t" (step), or "f"
+// (finish). All events with the same id form one flow, drawn by viewers
+// as arrows between the 'X' spans the events bind to — each flow event
+// must lie inside a complete span on its (pid, tid) track, which
+// Validate enforces along with per-flow timestamp monotonicity.
+func (t *Trace) Flow(phase, name, category string, id int64, pid, tid int, at sim.Time) {
+	t.events = append(t.events, Event{
+		Name: name, Category: category, Phase: phase, ID: id, BP: "e",
+		TsUS: at.Microseconds(), PID: pid, TID: tid,
 	})
 }
 
@@ -160,9 +178,16 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 }
 
 // Validate checks structural invariants: spans have non-negative
-// durations, instants have none, and counter events carry a non-empty
-// series name plus at least one named numeric value.
+// durations, instants have none, counter events carry a non-empty series
+// name plus at least one named numeric value, and flow events
+// ('s'/'t'/'f') bind to a complete span on their track and keep
+// per-flow timestamps monotonic (start first, finish last).
 func (t *Trace) Validate() error {
+	type flowState struct {
+		lastTS   float64
+		finished bool
+	}
+	var flows map[int64]*flowState
 	for i, e := range t.events {
 		switch e.Phase {
 		case "X":
@@ -188,9 +213,58 @@ func (t *Trace) Validate() error {
 					return fmt.Errorf("trace: counter event %d (%s) value %q is not numeric", i, e.Name, k)
 				}
 			}
+		case "s", "t", "f":
+			if e.DurUS != 0 {
+				return fmt.Errorf("trace: flow event %d (%s) has duration %g", i, e.Name, e.DurUS)
+			}
+			if !t.boundByEnclosingSpan(e) {
+				return fmt.Errorf("trace: flow event %d (%s, flow %d) has no enclosing span on pid %d tid %d at %g us",
+					i, e.Name, e.ID, e.PID, e.TID, e.TsUS)
+			}
+			if flows == nil {
+				flows = make(map[int64]*flowState)
+			}
+			fs := flows[e.ID]
+			switch {
+			case e.Phase == "s":
+				if fs != nil {
+					return fmt.Errorf("trace: flow %d has a second start at event %d (%s)", e.ID, i, e.Name)
+				}
+				flows[e.ID] = &flowState{lastTS: e.TsUS}
+				continue
+			case fs == nil:
+				return fmt.Errorf("trace: flow %d %s at event %d (%s) before its start", e.ID, e.Phase, i, e.Name)
+			case fs.finished:
+				return fmt.Errorf("trace: flow %d continues at event %d (%s) after its finish", e.ID, i, e.Name)
+			case e.TsUS < fs.lastTS:
+				return fmt.Errorf("trace: flow %d is non-monotonic at event %d (%s): %g us after %g us",
+					e.ID, i, e.Name, e.TsUS, fs.lastTS)
+			}
+			fs.lastTS = e.TsUS
+			if e.Phase == "f" {
+				fs.finished = true
+			}
 		default:
 			return fmt.Errorf("trace: event %d (%s) has phase %q", i, e.Name, e.Phase)
 		}
 	}
 	return nil
+}
+
+// boundByEnclosingSpan reports whether some complete ('X') span on the
+// flow event's (pid, tid) track covers its timestamp — the binding a
+// "bp": "e" flow event needs for a viewer to anchor the arrow. The
+// comparison carries 0.1 ps of slack: span ends are start+duration in
+// floating-point microseconds, which can round a hair away from a flow
+// timestamp computed directly, while any real gap is at least one whole
+// picosecond (the simulated-time grid).
+func (t *Trace) boundByEnclosingSpan(f Event) bool {
+	const slackUS = 1e-7
+	for _, e := range t.events {
+		if e.Phase == "X" && e.PID == f.PID && e.TID == f.TID &&
+			e.TsUS-slackUS <= f.TsUS && f.TsUS <= e.TsUS+e.DurUS+slackUS {
+			return true
+		}
+	}
+	return false
 }

@@ -201,3 +201,99 @@ func TestValidateCounterSeriesNames(t *testing.T) {
 		}
 	}
 }
+
+// flowTrace builds a two-track trace bound by one flow: a root span whose
+// flow starts on track 0, steps through a child on track 1, and finishes
+// back on the root.
+func flowTrace() *Trace {
+	tr := New()
+	tr.NameProcess(4, "spans")
+	tr.NameThread(4, 0, "roots")
+	tr.NameThread(4, 1, "hbm")
+	tr.Span("mem.read", "mem", 4, 0, 10*sim.Microsecond, 40*sim.Microsecond, nil)
+	tr.Span("ch3", "hbm", 4, 1, 20*sim.Microsecond, 35*sim.Microsecond,
+		map[string]string{"retry": "false"})
+	tr.Flow("s", "mem.read", "mem", 7, 4, 0, 10*sim.Microsecond)
+	tr.Flow("t", "ch3", "hbm", 7, 4, 1, 20*sim.Microsecond)
+	tr.Flow("f", "mem.read", "mem", 7, 4, 0, 40*sim.Microsecond)
+	return tr
+}
+
+func TestValidateAcceptsBoundFlow(t *testing.T) {
+	if err := flowTrace().Validate(); err != nil {
+		t.Errorf("well-formed flow rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFlows(t *testing.T) {
+	span := func(tr *Trace) {
+		tr.Span("root", "mem", 0, 0, 10*sim.Microsecond, 40*sim.Microsecond, nil)
+	}
+	cases := []struct {
+		desc  string
+		build func(tr *Trace)
+	}{
+		{"flow with no enclosing span", func(tr *Trace) {
+			tr.Flow("s", "orphan", "mem", 1, 0, 0, 99*sim.Microsecond)
+		}},
+		{"flow on the wrong track", func(tr *Trace) {
+			span(tr)
+			tr.Flow("s", "root", "mem", 1, 0, 3, 20*sim.Microsecond)
+		}},
+		{"step before its start", func(tr *Trace) {
+			span(tr)
+			tr.Flow("t", "root", "mem", 1, 0, 0, 20*sim.Microsecond)
+		}},
+		{"duplicate start", func(tr *Trace) {
+			span(tr)
+			tr.Flow("s", "root", "mem", 1, 0, 0, 15*sim.Microsecond)
+			tr.Flow("s", "root", "mem", 1, 0, 0, 20*sim.Microsecond)
+		}},
+		{"non-monotonic timestamps", func(tr *Trace) {
+			span(tr)
+			tr.Flow("s", "root", "mem", 1, 0, 0, 30*sim.Microsecond)
+			tr.Flow("t", "root", "mem", 1, 0, 0, 20*sim.Microsecond)
+		}},
+		{"continuation after finish", func(tr *Trace) {
+			span(tr)
+			tr.Flow("s", "root", "mem", 1, 0, 0, 15*sim.Microsecond)
+			tr.Flow("f", "root", "mem", 1, 0, 0, 20*sim.Microsecond)
+			tr.Flow("t", "root", "mem", 1, 0, 0, 30*sim.Microsecond)
+		}},
+		{"flow with duration", func(tr *Trace) {
+			span(tr)
+			tr.events = append(tr.events, Event{Name: "root", Phase: "s", ID: 1, DurUS: 2, TsUS: 15})
+		}},
+	}
+	for _, c := range cases {
+		tr := New()
+		c.build(tr)
+		if tr.Validate() == nil {
+			t.Errorf("%s not caught", c.desc)
+		}
+	}
+}
+
+// TestFlowGolden pins the flow-event JSON byte for byte ('s'/'t'/'f'
+// phases, id and bp fields); Perfetto's arrow rendering depends on this
+// layout. Regenerate with: go test ./internal/trace -run FlowGolden -update
+func TestFlowGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := flowTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/flow.golden.json"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("flow JSON drifted from golden file %s\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ras"
 	"repro/internal/sim"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
@@ -28,10 +29,20 @@ type (
 	FaultPlan = ras.Plan
 	// FaultInjector arms a FaultPlan against a platform's components.
 	FaultInjector = ras.Injector
+	// SpanRecorder records causal span trees on the memory and dispatch
+	// hot paths, with deterministic head-sampling.
+	SpanRecorder = spans.Recorder
+	// SpanDump is the full span store in wire form (apusim-spans/v1).
+	SpanDump = spans.Dump
+	// SpanAttribution is the critical-path latency attribution report.
+	SpanAttribution = spans.Attribution
 )
 
 // TelemetrySchema identifies the telemetry series-dump JSON layout.
 const TelemetrySchema = telemetry.DumpSchema
+
+// SpansSchema identifies the span-dump JSON layout.
+const SpansSchema = spans.DumpSchema
 
 // DefaultSampleEvery is the telemetry sampling cadence used when none is
 // configured.
@@ -49,6 +60,13 @@ func NewEngine() *Engine { return sim.NewEngine() }
 
 // NewRecorder returns an empty telemetry recorder.
 func NewRecorder() *Recorder { return telemetry.NewRecorder() }
+
+// NewSpanRecorder returns a span recorder whose TraceIDs and sampling
+// decisions derive deterministically from seed; rate is the head-sampling
+// probability (values outside (0, 1] trace everything).
+func NewSpanRecorder(seed uint64, rate float64) *SpanRecorder {
+	return spans.NewRecorder(seed, rate)
+}
 
 // NewSampler prepares a sampler that snapshots rec's probes on eng every
 // `every` of simulated time (0 selects the recorder's cadence, then
@@ -69,6 +87,9 @@ type buildConfig struct {
 	rec         *telemetry.Recorder
 	sampleEvery sim.Time
 	plan        *ras.Plan
+	spanRec     *spans.Recorder
+	spanSample  float64
+	haveSample  bool
 }
 
 // WithSeed overrides the CU-harvesting RNG seed; 0 (the default) keeps
@@ -97,6 +118,19 @@ func WithSampleEvery(every Time) Option {
 // and they need an engine to be scheduled on.
 func WithFaultPlan(plan *FaultPlan) Option { return func(c *buildConfig) { c.plan = plan } }
 
+// WithSpans wires rec into the platform's memory and dispatch hot paths:
+// every sampled memory transaction and AQL dispatch records a causal span
+// tree on it, and armed fault plans annotate it with fault events.
+// Platforms built without this option pay nothing on those paths.
+func WithSpans(rec *SpanRecorder) Option { return func(c *buildConfig) { c.spanRec = rec } }
+
+// WithSpanSample sets the head-sampling rate on the recorder given via
+// WithSpans (values outside (0, 1] trace every root). Without WithSpans
+// it is ignored.
+func WithSpanSample(rate float64) Option {
+	return func(c *buildConfig) { c.spanSample = rate; c.haveSample = true }
+}
+
 // New assembles a platform from a product spec plus functional options.
 // With no options it is exactly the classic constructors: NewMI300A and
 // friends are one-line wrappers over it.
@@ -108,9 +142,13 @@ func New(spec *PlatformSpec, opts ...Option) (*Platform, error) {
 	if cfg.plan != nil && cfg.eng == nil {
 		return nil, fmt.Errorf("apusim: WithFaultPlan requires WithEngine — faults are scheduled as engine events")
 	}
+	if cfg.spanRec != nil && cfg.haveSample {
+		cfg.spanRec.SetSampleRate(cfg.spanSample)
+	}
 	p, err := core.NewPlatformWith(spec, core.BuildOptions{
 		HarvestSeed: cfg.seed,
 		Telemetry:   cfg.rec,
+		Spans:       cfg.spanRec,
 	})
 	if err != nil {
 		return nil, err
@@ -125,7 +163,7 @@ func New(spec *PlatformSpec, opts ...Option) (*Platform, error) {
 	}
 	if cfg.plan != nil {
 		inj := ras.NewInjector(cfg.plan)
-		targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU}
+		targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU, Spans: cfg.spanRec}
 		if _, err := inj.Arm(cfg.eng, targets); err != nil {
 			return nil, err
 		}
@@ -138,7 +176,7 @@ func New(spec *PlatformSpec, opts ...Option) (*Platform, error) {
 // and Errs). New's WithFaultPlan covers the common fire-and-forget case.
 func ArmFaultPlan(p *Platform, eng *Engine, plan *FaultPlan) (*FaultInjector, error) {
 	inj := ras.NewInjector(plan)
-	targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU}
+	targets := ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU, Spans: p.SpanRecorder()}
 	if _, err := inj.Arm(eng, targets); err != nil {
 		return nil, err
 	}

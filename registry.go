@@ -26,6 +26,7 @@ func Experiments() *runner.Registry {
 		registerExtraExperiments(registry) // experiments_extra.go: design ablations
 		registerQoSExperiments(registry)   // experiments_qos.go: scaling/QoS/efficiency
 		registerRASExperiments(registry)   // experiments_ras.go: fault injection
+		registerSpanExperiments(registry)  // experiments_spans.go: causal span tracing
 	})
 	return registry
 }

@@ -23,6 +23,13 @@ type TraceSpec struct {
 	// TelemetryPID pins the counter events' process ID; 0 assigns the
 	// next free PID after the span tracks.
 	TelemetryPID int
+	// Spans, when non-nil, appends the recorder's causal span trees as one
+	// process of per-stage thread tracks, with flow arrows ('s'/'t'/'f')
+	// binding each root to its segments.
+	Spans *SpanRecorder
+	// SpansPID pins the span tracks' process ID; 0 assigns the next free
+	// PID after the telemetry track.
+	SpansPID int
 }
 
 // TraceResult reports what WriteTrace rendered.
@@ -39,7 +46,7 @@ type TraceResult struct {
 // trace export: WriteFig14Trace and WriteDispatchTrace are thin wrappers
 // over it, and telemetry counter tracks compose with either.
 func WriteTrace(w io.Writer, spec TraceSpec) (*TraceResult, error) {
-	if spec.Fig14N <= 0 && !spec.Dispatch && spec.Telemetry == nil {
+	if spec.Fig14N <= 0 && !spec.Dispatch && spec.Telemetry == nil && spec.Spans == nil {
 		return nil, fmt.Errorf("apusim: empty TraceSpec — nothing to trace")
 	}
 	tr := trace.New()
@@ -68,6 +75,16 @@ func WriteTrace(w io.Writer, spec TraceSpec) (*TraceResult, error) {
 		}
 		tr.NameProcess(tpid, "telemetry")
 		spec.Telemetry.AddCounters(tr, tpid)
+		if tpid >= pid {
+			pid = tpid + 1
+		}
+	}
+	if spec.Spans != nil {
+		spid := spec.SpansPID
+		if spid == 0 {
+			spid = pid
+		}
+		spec.Spans.AddToTrace(tr, spid)
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
