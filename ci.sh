@@ -84,4 +84,48 @@ echo "== telemetry golden schema =="
 # a schema change and needs a version bump.
 go test ./internal/telemetry/ -run TestDumpGolden -count=1
 
+echo "== audit smoke =="
+# The full evaluation must run clean under strict invariant auditing:
+# every conservation ledger balances on every experiment, and the
+# manifest carries per-run audit reports with zero violations.
+tmp_audit_manifest=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8" "$tmp_audit_manifest"' EXIT
+go run ./cmd/repro -audit -strict -manifest "$tmp_audit_manifest" >/dev/null
+python3 - "$tmp_audit_manifest" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "apusim-run-manifest/v1", d["schema"]
+assert d["suite"].get("violated", 0) == 0, d["suite"]
+audited = [e for e in d["experiments"] if "audit" in e]
+assert audited, "no experiment carried an audit report"
+for e in audited:
+    a = e["audit"]
+    assert a["schema"] == "apusim-audit/v1", a["schema"]
+    assert a["violations"] == [], (e["id"], a["violations"])
+EOF
+
+echo "== chaos sweep =="
+# Seeded random fault storms must complete (ok or degraded, exit 0) with
+# clean audits, and the report file must be byte-identical at -parallel 1
+# and -parallel 8.
+tmp_chaos1=$(mktemp)
+tmp_chaos8=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8" "$tmp_audit_manifest" "$tmp_chaos1" "$tmp_chaos8"' EXIT
+go run ./cmd/repro -chaos-seed 20260806 -chaos-count 16 -strict -parallel 1 -audit-out "$tmp_chaos1" >/dev/null
+go run ./cmd/repro -chaos-seed 20260806 -chaos-count 16 -strict -parallel 8 -audit-out "$tmp_chaos8" >/dev/null
+cmp "$tmp_chaos1" "$tmp_chaos8"
+python3 - "$tmp_chaos1" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "apusim-audit-runs/v1", d["schema"]
+assert len(d["runs"]) == 16, len(d["runs"])
+for run in d["runs"]:
+    assert run["audit"]["violations"] == [], (run["id"], run["audit"])
+EOF
+
+echo "== fault-plan fuzz smoke =="
+# 30 seconds of coverage-guided fuzzing over the RAS fault-plan parser:
+# it must never panic, and accepted plans must round-trip.
+go test ./internal/ras/ -run '^$' -fuzz '^FuzzParsePlan$' -fuzztime 30s >/dev/null
+
 echo "ci.sh: all checks passed"

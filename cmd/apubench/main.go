@@ -41,14 +41,19 @@ func main() {
 	sampleNS := flag.Int64("sample-ns", 0, "with -exp: telemetry sampling cadence in simulated nanoseconds (0 = default)")
 	spansOut := flag.String("spans", "", "with -exp: write the run's causal span dump (JSON)")
 	spanSample := flag.Float64("span-sample", 1, "with -exp: span head-sampling rate in (0, 1]")
+	auditOn := flag.Bool("audit", false, "with -exp: arm runtime invariant auditing on the run")
+	strict := flag.Bool("strict", false, "with -exp: fail the run on audit violations (implies -audit)")
 	flag.Parse()
+	if *strict {
+		*auditOn = true
+	}
 
 	if *listExp {
 		fmt.Print(apusim.Experiments().List())
 		return
 	}
-	if *exp == "" && (*telemetryOut != "" || *sampleNS != 0 || *spansOut != "") {
-		fmt.Fprintln(os.Stderr, "apubench: -telemetry, -sample-ns, and -spans require -exp (registry experiments own the sampled engines)")
+	if *exp == "" && (*telemetryOut != "" || *sampleNS != 0 || *spansOut != "" || *auditOn) {
+		fmt.Fprintln(os.Stderr, "apubench: -telemetry, -sample-ns, -spans, -audit, and -strict require -exp (registry experiments own the sampled engines)")
 		os.Exit(2)
 	}
 	if *exp != "" {
@@ -56,6 +61,8 @@ func main() {
 			Parallel: 1, IDs: []string{*exp}, Retries: *retries,
 			SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
 			SpanSample:  *spanSample,
+			Audit:       *auditOn,
+			Strict:      *strict,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apubench: %v (use -list-experiments)\n", err)

@@ -22,6 +22,10 @@
 //	repro -spans spans.json    # write causal span dumps for runs that record them
 //	repro -span-sample 0.25    # span head-sampling rate
 //	repro -prom metrics.prom   # write final telemetry in Prometheus text format
+//	repro -audit               # arm runtime invariant auditing on every run
+//	repro -audit -strict       # ... and fail any run with an audit violation
+//	repro -audit-out audit.json # write per-run audit reports (implies -audit)
+//	repro -chaos-seed 7 -chaos-count 8  # register seeded chaos fault storms
 package main
 
 import (
@@ -53,7 +57,15 @@ func main() {
 	spansOut := flag.String("spans", "", "write causal span dumps (JSON) for runs that record them")
 	spanSample := flag.Float64("span-sample", 1, "span head-sampling rate in (0, 1]; outside that range traces everything")
 	promOut := flag.String("prom", "", "write final telemetry state in Prometheus text exposition format")
+	auditOn := flag.Bool("audit", false, "arm runtime invariant auditing (conservation ledgers, drain quiescence) on every run")
+	strict := flag.Bool("strict", false, "fail runs on audit violations instead of recording them as degraded (implies -audit)")
+	auditOut := flag.String("audit-out", "", "write per-run audit reports (JSON) to this file (implies -audit)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "register seeded chaos fault-storm experiments (0 = off); implies -audit")
+	chaosCount := flag.Int("chaos-count", 8, "how many chaos storms -chaos-seed registers (seeds seed, seed+1, ...)")
 	flag.Parse()
+	if *strict || *auditOut != "" || *chaosSeed != 0 {
+		*auditOn = true
+	}
 
 	if *tracePrefix != "" {
 		if err := writeTraces(*tracePrefix); err != nil {
@@ -97,6 +109,13 @@ func main() {
 			*exp = "faultplan"
 		}
 	}
+	var chaosIDs []string
+	if *chaosSeed != 0 {
+		reg = reg.Clone()
+		before := len(reg.IDs())
+		apusim.RegisterChaosStorms(reg, *chaosSeed, *chaosCount)
+		chaosIDs = reg.IDs()[before:]
+	}
 
 	if *list {
 		fmt.Print(reg.List())
@@ -109,6 +128,8 @@ func main() {
 		Retries:     *retries,
 		SampleEvery: sim.Time(*sampleNS) * sim.Nanosecond,
 		SpanSample:  *spanSample,
+		Audit:       *auditOn,
+		Strict:      *strict,
 		OnResult: func(r runner.Result) {
 			if err := runner.WriteResult(os.Stdout, r); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
@@ -118,6 +139,10 @@ func main() {
 	}
 	if *exp != "" {
 		opts.IDs = []string{*exp}
+	} else if len(chaosIDs) > 0 {
+		// A chaos invocation runs just its storms unless -exp selects
+		// something else on top of them.
+		opts.IDs = chaosIDs
 	}
 
 	suite, err := reg.RunSuite(opts)
@@ -151,6 +176,24 @@ func main() {
 		if err := writeProm(*promOut, suite); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: prom: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if *auditOut != "" {
+		if err := writeAudit(*auditOut, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: audit: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *auditOn {
+		for _, r := range suite.Violated() {
+			switch {
+			case r.Audit != nil && !r.Audit.OK():
+				for _, v := range r.Audit.Violations {
+					fmt.Fprintf(os.Stderr, "repro: %s audit violation: %s\n", r.ID, v.String())
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "repro: %s violated: %v\n", r.ID, r.Err)
+			}
 		}
 	}
 	if failed := suite.Failed(); len(failed) > 0 {
@@ -217,6 +260,21 @@ func writeProm(path string, suite *runner.SuiteResult) error {
 		return err
 	}
 	if err := telemetry.WritePromRuns(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeAudit writes each audited run's invariant report — in
+// registration order, so the file is byte-identical at any -parallel
+// degree.
+func writeAudit(path string, suite *runner.SuiteResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteAuditRuns(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -3,6 +3,7 @@ package apusim
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -73,6 +74,7 @@ func ExperimentLinkDownSTREAM(ctx *runner.Ctx) ([]LinkFaultPoint, *metrics.Table
 	if err != nil {
 		return nil, nil, err
 	}
+	p.AttachAudit(ctx.Auditor())
 	a := p.Net.NodeByName("IOD-A").ID
 	b := p.Net.NodeByName("IOD-B").ID
 	const bytes = 256 << 20
@@ -166,6 +168,7 @@ func ExperimentChannelRetireGEMM(ctx *runner.Ctx) ([]RetireStage, *metrics.Table
 	spec := config.MI300A()
 	h := mem.NewHBM(spec.HBM.Generation, spec.HBM.Stacks, spec.HBM.ChannelsStack,
 		spec.HBM.StackBW, spec.HBM.TotalCapacity(), 120*sim.Nanosecond)
+	audit.HBM(ctx.Auditor(), h, "hbm")
 	peakFlops := spec.PeakFlops(config.Matrix, config.FP16)
 
 	plan := &ras.Plan{Seed: rasSeed, Faults: []ras.Fault{
@@ -265,6 +268,7 @@ func ExperimentXCDLossInference(ctx *runner.Ctx) ([]XCDLossPoint, *metrics.Table
 		xcds = append(xcds, gpu.NewXCD(i, spec.XCD, rng))
 	}
 	part := gpu.NewPartition("ras.gpu", xcds, nil, gpu.PolicyRoundRobin)
+	audit.Partition(ctx.Auditor(), part)
 
 	k := &gpu.KernelSpec{
 		Name: "ras_decode_proxy", Class: config.Vector, Dtype: config.FP32,
@@ -384,6 +388,7 @@ func ExperimentECCStorm(ctx *runner.Ctx) ([]ECCStage, *metrics.Table, error) {
 	spec := config.MI300A()
 	h := mem.NewHBM(spec.HBM.Generation, spec.HBM.Stacks, spec.HBM.ChannelsStack,
 		spec.HBM.StackBW, spec.HBM.TotalCapacity(), 120*sim.Nanosecond)
+	audit.HBM(ctx.Auditor(), h, "hbm")
 
 	plan := &ras.Plan{Seed: rasSeed, Faults: []ras.Fault{
 		{Kind: ras.FaultECCStorm, AtNS: 1e6, Rate: 0.01, PenaltyNS: 400},
@@ -464,6 +469,7 @@ func ExperimentFaultPlan(ctx *runner.Ctx, plan *ras.Plan) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	p.AttachAudit(ctx.Auditor())
 	inj, err := armPlan(ctx, plan, ras.Targets{Net: p.Net, HBM: p.HBM, XCDs: p.XCDs, GPU: p.GPU})
 	if err != nil {
 		return "", err

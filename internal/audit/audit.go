@@ -1,0 +1,141 @@
+// Package audit is the runtime invariant-verification subsystem: a
+// registry of conservation ledgers that components contribute while a
+// simulation runs, checked once at drain time. The paper's reliability
+// story (RAS, bring-up) is that the platform keeps producing trustworthy
+// answers while links derate, HBM channels retire, and XCDs drop out;
+// the auditor turns "the run finished" into "the run finished and the
+// physics added up" — bytes, workgroups, completion signals, and energy
+// are conserved even under fault storms.
+//
+// Like spans.Recorder, a nil *Auditor is the disarmed state: every
+// method on a nil receiver is a no-op, so instrumented components call
+// the auditor unconditionally and pay nothing when auditing is off.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Schema identifies the audit report JSON layout. Bump on any change to
+// the Report or Violation field set.
+const Schema = "apusim-audit/v1"
+
+// ErrViolation is the sentinel wrapped by Report.Err when a check
+// failed. errors.Is(err, audit.ErrViolation) identifies audit failures.
+var ErrViolation = errors.New("audit: invariant violated")
+
+// Violation is one failed invariant check. Want/Got carry the two sides
+// of the broken conservation equation (as floats so byte counts and
+// joules share one shape); Detail names the specific site.
+type Violation struct {
+	Component string  `json:"component"`
+	Ledger    string  `json:"ledger"`
+	Detail    string  `json:"detail"`
+	Want      float64 `json:"want"`
+	Got       float64 `json:"got"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s (want %g, got %g)", v.Component, v.Ledger, v.Detail, v.Want, v.Got)
+}
+
+// CheckFunc evaluates one component's ledgers at drain time and returns
+// every violated invariant (nil when all hold). now is the engine's
+// simulated time at the audit point.
+type CheckFunc func(now sim.Time) []Violation
+
+type check struct {
+	component string
+	fn        CheckFunc
+}
+
+// Auditor collects conservation checks registered by components during
+// platform construction and evaluates them at drain. The zero value is
+// unusable; New returns an armed auditor, and a nil *Auditor is the
+// zero-cost disarmed state.
+type Auditor struct {
+	checks []check
+}
+
+// New returns an armed auditor with no checks registered.
+func New() *Auditor { return &Auditor{} }
+
+// Enabled reports whether auditing is armed. Instrumentation may use it
+// to skip ledger bookkeeping entirely, though Register alone is safe on
+// a nil receiver.
+func (a *Auditor) Enabled() bool { return a != nil }
+
+// Register adds a check under a component name. Checks run in
+// registration order, so reports are deterministic for a fixed platform
+// build order. No-op on a nil auditor.
+func (a *Auditor) Register(component string, fn CheckFunc) {
+	if a == nil || fn == nil {
+		return
+	}
+	a.checks = append(a.checks, check{component: component, fn: fn})
+}
+
+// Checks reports the number of registered checks (0 when disarmed).
+func (a *Auditor) Checks() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.checks)
+}
+
+// Audit evaluates every registered check at simulated time now and
+// returns the structured report. Returns nil on a nil auditor.
+func (a *Auditor) Audit(now sim.Time) *Report {
+	if a == nil {
+		return nil
+	}
+	rep := &Report{
+		Schema:     Schema,
+		AtNS:       float64(now) / float64(sim.Nanosecond),
+		Checks:     len(a.checks),
+		Violations: []Violation{},
+	}
+	for _, c := range a.checks {
+		for _, v := range c.fn(now) {
+			if v.Component == "" {
+				v.Component = c.component
+			}
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	return rep
+}
+
+// Report is the deterministic audit outcome embedded in run manifests.
+// Violations is never nil (empty slice when clean) so the JSON shape is
+// stable. Every field derives from simulated state only — no wall-clock
+// data — so reports are byte-identical across -parallel degrees.
+type Report struct {
+	Schema     string      `json:"schema"`
+	AtNS       float64     `json:"at_ns"`
+	Checks     int         `json:"checks"`
+	Violations []Violation `json:"violations"`
+}
+
+// OK reports whether every check held.
+func (r *Report) OK() bool { return r == nil || len(r.Violations) == 0 }
+
+// Err returns nil for a clean report, or an error wrapping ErrViolation
+// that lists the violated invariants.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	var b strings.Builder
+	for i, v := range r.Violations {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%w: %d violations across %d checks: %s", ErrViolation, len(r.Violations), r.Checks, b.String())
+}

@@ -54,15 +54,15 @@ type SetAssoc struct {
 // multiple of lineSize×ways and the set count must be a power of two.
 func NewSetAssoc(name string, size, lineSize int64, ways int) *SetAssoc {
 	if size <= 0 || lineSize <= 0 || ways <= 0 {
-		panic(fmt.Sprintf("cache: bad geometry size=%d line=%d ways=%d", size, lineSize, ways))
+		panic(fmt.Sprintf("cache: invariant violated: geometry must be positive (size=%d line=%d ways=%d)", size, lineSize, ways))
 	}
 	lines := size / lineSize
 	sets := int(lines) / ways
 	if sets == 0 || int64(sets*ways)*lineSize != size {
-		panic(fmt.Sprintf("cache: %s size %d not divisible into %d-way sets of %d-byte lines", name, size, ways, lineSize))
+		panic(fmt.Sprintf("cache: invariant violated: %s size %d must divide evenly into %d-way sets of %d-byte lines", name, size, ways, lineSize))
 	}
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache: %s set count %d not a power of two", name, sets))
+		panic(fmt.Sprintf("cache: invariant violated: %s set count %d must be a power of two for index masking", name, sets))
 	}
 	c := &SetAssoc{Name: name, LineSize: lineSize, Ways: ways, Sets: sets}
 	c.sets = make([][]line, sets)

@@ -26,13 +26,17 @@ type InfinityCache struct {
 	// busyUntil per slice models slice port occupancy.
 	busyUntil []sim.Time
 	lineSize  int64
+	// accesses counts Access calls. Slice accounting demands that every
+	// access registered exactly one hit or miss across the slices —
+	// accesses == Σ (hits + misses) — which the audit layer checks.
+	accesses uint64
 }
 
 // NewInfinityCache builds slices caches of sliceBytes each, sharing
 // totalBW evenly.
 func NewInfinityCache(slices int, sliceBytes int64, totalBW float64, hitLatency sim.Time, prefetch bool) *InfinityCache {
 	if slices <= 0 {
-		panic(fmt.Sprintf("cache: %d infinity cache slices", slices))
+		panic(fmt.Sprintf("cache: invariant violated: an Infinity Cache needs at least one slice (got %d)", slices))
 	}
 	const lineSize = 128
 	ic := &InfinityCache{
@@ -95,8 +99,9 @@ type AccessResult struct {
 // pulls the next line on detected sequential misses.
 func (ic *InfinityCache) Access(start sim.Time, ch int, addr, nbytes int64, write bool) AccessResult {
 	if ch < 0 || ch >= len(ic.slices) {
-		panic(fmt.Sprintf("cache: channel %d out of range", ch))
+		panic(fmt.Sprintf("cache: invariant violated: slice index %d outside [0, %d) — the interleave hash must stay in range", ch, len(ic.slices)))
 	}
+	ic.accesses++
 	sl := ic.slices[ch]
 	res := sl.Access(addr, write)
 
@@ -129,6 +134,10 @@ func (ic *InfinityCache) Access(start sim.Time, ch int, addr, nbytes int64, writ
 	return out
 }
 
+// Accesses reports total Access calls — the "request" side of the slice
+// accounting ledger that Σ (hits + misses) must match.
+func (ic *InfinityCache) Accesses() uint64 { return ic.accesses }
+
 // HitRate reports the aggregate hit fraction.
 func (ic *InfinityCache) HitRate() float64 {
 	s := ic.Stats()
@@ -141,6 +150,7 @@ func (ic *InfinityCache) ResetStats() {
 		sl.ResetStats()
 		ic.busyUntil[i] = 0
 	}
+	ic.accesses = 0
 }
 
 // EffectiveBW reports the bandwidth-amplified effective memory bandwidth

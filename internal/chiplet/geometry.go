@@ -157,7 +157,7 @@ func (s PointSet) MissingFrom(super PointSet) []Point {
 // the property that lets one grid serve every IOD/chiplet permutation.
 func Grid(w, h, pitch int) PointSet {
 	if pitch <= 0 {
-		panic(fmt.Sprintf("chiplet: grid pitch %d", pitch))
+		panic(fmt.Sprintf("chiplet: invariant violated: grid pitch must be positive (got %d)", pitch))
 	}
 	nx := w / pitch
 	ny := h / pitch

@@ -103,7 +103,7 @@ func NewGPUDirectory(name string, agents int) *Directory {
 
 func newDirectory(name string, agents int, moesi bool) *Directory {
 	if agents <= 0 || agents > 64 {
-		panic(fmt.Sprintf("coherence: %d agents out of range [1,64]", agents))
+		panic(fmt.Sprintf("coherence: invariant violated: agent count %d outside [1, 64] (sharer sets are 64-bit masks)", agents))
 	}
 	return &Directory{name: name, agents: agents, moesi: moesi, lines: make(map[LineAddr]*entry)}
 }
@@ -125,7 +125,7 @@ func (d *Directory) TrackedLines() int { return len(d.lines) }
 
 func (d *Directory) checkAgent(a int) {
 	if a < 0 || a >= d.agents {
-		panic(fmt.Sprintf("coherence: agent %d out of range [0,%d)", a, d.agents))
+		panic(fmt.Sprintf("coherence: invariant violated: agent %d outside [0, %d)", a, d.agents))
 	}
 }
 
@@ -178,7 +178,7 @@ func (d *Directory) Read(a int, line LineAddr) Outcome {
 		}
 		return Outcome{Probes: 1, CacheTransfer: true}
 	}
-	panic("coherence: unreachable read state")
+	panic("coherence: invariant violated: read reached a line state outside the MOESI lattice")
 }
 
 // Write handles a store miss (or upgrade) from agent a, invalidating all

@@ -253,8 +253,30 @@ func (p *PlatformSpec) Validate() error {
 	if p.XCD != nil && p.XCD.EnabledCUs > p.XCD.PhysicalCUs {
 		return fmt.Errorf("config: %s enables %d of %d physical CUs", p.Name, p.XCD.EnabledCUs, p.XCD.PhysicalCUs)
 	}
+	if p.XCD != nil && p.XCD.EnabledCUs <= 0 {
+		return fmt.Errorf("config: %s XCD spec enables %d CUs (need at least 1)", p.Name, p.XCD.EnabledCUs)
+	}
+	if p.XCD != nil && p.XCD.ClockHz <= 0 {
+		return fmt.Errorf("config: %s XCD clock %g Hz is not positive", p.Name, p.XCD.ClockHz)
+	}
+	if p.CCD != nil && p.CCDs > 0 && (p.CCD.Cores <= 0 || p.CCD.ClockHz <= 0) {
+		return fmt.Errorf("config: %s CCD spec needs positive cores and clock (got %d cores at %g Hz)",
+			p.Name, p.CCD.Cores, p.CCD.ClockHz)
+	}
 	if p.HBM == nil {
 		return fmt.Errorf("config: %s has no memory spec", p.Name)
+	}
+	if p.HBM.Stacks <= 0 || p.HBM.ChannelsStack <= 0 {
+		return fmt.Errorf("config: %s HBM needs positive stack and channel counts (got %d stacks x %d channels/stack)",
+			p.Name, p.HBM.Stacks, p.HBM.ChannelsStack)
+	}
+	if p.HBM.StackCapacity <= 0 || p.HBM.StackBW <= 0 {
+		return fmt.Errorf("config: %s HBM needs positive stack capacity and bandwidth (got %d B at %g B/s)",
+			p.Name, p.HBM.StackCapacity, p.HBM.StackBW)
+	}
+	if p.InfinityCache != nil && (p.InfinityCache.SliceBytes <= 0 || p.InfinityCache.TotalBW <= 0) {
+		return fmt.Errorf("config: %s Infinity Cache needs positive slice size and bandwidth (got %d B at %g B/s)",
+			p.Name, p.InfinityCache.SliceBytes, p.InfinityCache.TotalBW)
 	}
 	if p.IODs > 0 && p.IOD != nil && p.IOD.HBMStacks*p.IODs != p.HBM.Stacks {
 		return fmt.Errorf("config: %s IODs host %d stacks but HBM has %d",
@@ -265,6 +287,13 @@ func (p *PlatformSpec) Validate() error {
 	}
 	if p.DevicePresentation <= 0 {
 		return fmt.Errorf("config: %s has no device presentation", p.Name)
+	}
+	// Platform assembly gives each presented device XCDs/DevicePresentation
+	// XCDs; presenting more devices than XCDs would build an empty
+	// partition, which the gpu package (rightly) refuses.
+	if p.XCDs > 0 && p.DevicePresentation > p.XCDs {
+		return fmt.Errorf("config: %s presents %d devices from %d XCDs (each device needs at least one XCD)",
+			p.Name, p.DevicePresentation, p.XCDs)
 	}
 	return nil
 }

@@ -28,6 +28,14 @@ type Governor struct {
 	alloc   power.Allocation
 	scale   float64
 	meter   power.EnergyMeter
+
+	// Shadow energy ledger: an independent Σ total-watts × dt integral
+	// maintained alongside the per-domain meter. At drain the two must
+	// agree within float tolerance — a drift means an allocation was
+	// accrued twice, skipped, or applied with a stale timestamp.
+	shadowJ float64
+	shadowT sim.Time
+	shadowW float64
 }
 
 // newGovernor starts the governor in the all-idle allocation.
@@ -35,6 +43,7 @@ func newGovernor(m *power.Model, xcds int) *Governor {
 	g := &Governor{model: m, xcdArea: perXCDAreaMM2 * float64(maxInt(xcds, 1))}
 	g.alloc, g.scale = m.Allocate(power.Activity{})
 	g.meter.SetAllocation(0, g.alloc)
+	g.shadowW = g.alloc.Total()
 	return g
 }
 
@@ -69,6 +78,11 @@ func (g *Governor) Observe(act power.Activity) (power.Allocation, float64) {
 // callers driving the governor from an engine timeline.
 func (g *Governor) Allocate(t sim.Time, act power.Activity) (power.Allocation, float64) {
 	alloc, scale := g.Observe(act)
+	if t > g.shadowT {
+		g.shadowJ += g.shadowW * (t - g.shadowT).Seconds()
+		g.shadowT = t
+	}
+	g.shadowW = alloc.Total()
 	g.meter.SetAllocation(t, alloc)
 	return alloc, scale
 }
@@ -81,6 +95,16 @@ func (g *Governor) Scale() float64 { return g.scale }
 
 // EnergyJ reports energy accrued through simulated time t.
 func (g *Governor) EnergyJ(t sim.Time) float64 { return g.meter.EnergyJ(t) }
+
+// ShadowEnergyJ reports the shadow ledger's energy through simulated time
+// t without mutating ledger state.
+func (g *Governor) ShadowEnergyJ(t sim.Time) float64 {
+	j := g.shadowJ
+	if t > g.shadowT {
+		j += g.shadowW * (t - g.shadowT).Seconds()
+	}
+	return j
+}
 
 // HotspotC estimates the package hotspot from the XCD domain's current
 // power density — a closed-form stand-in for the full thermal solve,

@@ -1,14 +1,18 @@
 package core
 
 import (
+	"math"
+
+	"repro/internal/audit"
 	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
 // BuildOptions configures platform assembly. The apusim facade's
-// functional options (WithSeed, WithTelemetry, WithSpans) reduce to
-// this struct.
+// functional options (WithSeed, WithTelemetry, WithSpans, WithAudit)
+// reduce to this struct.
 type BuildOptions struct {
 	// HarvestSeed seeds the deterministic CU-harvesting RNG; 0 selects
 	// the historical default, so existing platforms are bit-identical.
@@ -19,6 +23,9 @@ type BuildOptions struct {
 	// Spans, when non-nil, records causal span trees for memory
 	// transactions and AQL dispatches.
 	Spans *spans.Recorder
+	// Audit, when non-nil, has every component conservation ledger
+	// registered on it (see AttachAudit).
+	Audit *audit.Auditor
 }
 
 // NewPlatformWith assembles a platform with explicit build options.
@@ -30,6 +37,7 @@ func NewPlatformWith(spec *config.PlatformSpec, opts BuildOptions) (*Platform, e
 	if opts.Telemetry != nil {
 		p.Instrument(opts.Telemetry)
 	}
+	p.AttachAudit(opts.Audit)
 	return p, nil
 }
 
@@ -47,4 +55,48 @@ func (p *Platform) Instrument(rec *telemetry.Recorder) {
 	}
 	telemetry.InstrumentXCDs(rec, p.XCDs)
 	p.instrumentPower(rec)
+}
+
+// AttachAudit registers the platform's conservation ledgers on a, in a
+// fixed order mirroring Instrument (fabric, HBM, host DDR, GPU partition,
+// governor energy) so reports are deterministic. Safe to call with a nil
+// auditor — every registration is then a no-op.
+func (p *Platform) AttachAudit(a *audit.Auditor) {
+	if !a.Enabled() {
+		return
+	}
+	audit.Fabric(a, p.Net)
+	audit.HBM(a, p.HBM, "hbm")
+	if p.HostDDR != nil {
+		audit.HBM(a, p.HostDDR, "ddr")
+	}
+	if p.InfCache != nil {
+		audit.InfinityCache(a, p.InfCache)
+	}
+	audit.Partition(a, p.GPU)
+	p.attachEnergyAudit(a)
+}
+
+// attachEnergyAudit registers the governor's energy-conservation check:
+// the per-domain meter and the independent shadow ledger must agree on
+// accrued joules within float tolerance. Registered here (not in the
+// audit package) because the governor is a core-internal concept.
+func (p *Platform) attachEnergyAudit(a *audit.Auditor) {
+	g := p.Governor()
+	if g == nil {
+		return
+	}
+	a.Register("governor", func(now sim.Time) []audit.Violation {
+		meterJ := g.EnergyJ(now)
+		shadowJ := g.ShadowEnergyJ(now)
+		tol := 1e-9 + 1e-6*math.Max(math.Abs(meterJ), math.Abs(shadowJ))
+		if math.Abs(meterJ-shadowJ) > tol {
+			return []audit.Violation{{
+				Ledger: "energy-conservation",
+				Detail: "per-domain energy meter diverged from the Σ watts × dt shadow ledger",
+				Want:   shadowJ, Got: meterJ,
+			}}
+		}
+		return nil
+	})
 }

@@ -74,7 +74,7 @@ type Complex struct {
 // NewComplex builds a CPU complex of ccds dies from the spec.
 func NewComplex(spec *config.CCDSpec, ccds int, env *Env) *Complex {
 	if spec == nil || ccds <= 0 {
-		panic(fmt.Sprintf("cpu: bad complex spec=%v ccds=%d", spec, ccds))
+		panic(fmt.Sprintf("cpu: invariant violated: a complex needs a CCD spec and a positive die count (spec=%v ccds=%d)", spec, ccds))
 	}
 	if env == nil {
 		env = &Env{}

@@ -111,6 +111,11 @@ type Link struct {
 	derate    float64 // effective-BW fraction while LinkDerated, in (0, 1]
 	busyUntil sim.Time
 	bytes     uint64
+	// bytesAtDown freezes the byte counter at the moment the link went
+	// LinkDown. While down, bytes must not grow past it: any growth means
+	// traffic crossed a dead link over a stale (cached or pre-resolved)
+	// path — the audit layer checks this after RAS reroutes.
+	bytesAtDown uint64
 }
 
 // State reports the link's RAS health state.
@@ -141,6 +146,10 @@ func (l *Link) SerializationTime(bytes int64) sim.Time {
 
 // BytesCarried reports total payload bytes that have crossed the link.
 func (l *Link) BytesCarried() uint64 { return l.bytes }
+
+// BytesAtDown reports the byte counter frozen when the link last went
+// LinkDown (meaningful only while State() == LinkDown).
+func (l *Link) BytesAtDown() uint64 { return l.bytesAtDown }
 
 // BusyUntil reports the link's current occupancy horizon.
 func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
@@ -182,6 +191,11 @@ type Network struct {
 	// priority links form the high-priority communication channel used
 	// for ACE-to-ACE synchronization (§VI.A); keyed like routes.
 	priorityLat map[int64]sim.Time
+	// injected accumulates bytes×hops for every transfer admitted into
+	// the fabric. Byte conservation demands TotalBytes() == injected at
+	// drain: every injected byte was carried by exactly the links on its
+	// path, none were dropped or double-counted.
+	injected uint64
 }
 
 // New returns an empty network.
@@ -254,6 +268,9 @@ func (n *Network) SetLinkState(id int, state LinkState, derate float64) error {
 		return fmt.Errorf("fabric: derate %g outside (0, 1]", derate)
 	}
 	l := n.links[id]
+	if state == LinkDown && l.state != LinkDown {
+		l.bytesAtDown = l.bytes
+	}
 	l.state = state
 	l.derate = derate
 	n.invalidateCaches()
@@ -279,7 +296,7 @@ func (n *Network) SetLinkStateBetween(a, b NodeID, state LinkState, derate float
 
 func (n *Network) addLink(src, dst NodeID, kind config.LinkKind, bw float64, lat sim.Time) *Link {
 	if n.Node(src) == nil || n.Node(dst) == nil {
-		panic(fmt.Sprintf("fabric: connecting unknown nodes %d-%d", src, dst))
+		panic(fmt.Sprintf("fabric: invariant violated: links must join registered nodes (got %d-%d)", src, dst))
 	}
 	l := &Link{
 		ID:   len(n.links),
@@ -391,6 +408,9 @@ func (n *Network) TransferPath(start sim.Time, path []*Link, bytes int64) sim.Ti
 func (n *Network) TransferPathObserved(start sim.Time, path []*Link, bytes int64, obs HopObserver) sim.Time {
 	arrive := start
 	end := start
+	if bytes > 0 {
+		n.injected += uint64(bytes) * uint64(len(path))
+	}
 	for _, l := range path {
 		txStart := arrive
 		if l.busyUntil > txStart {
@@ -494,10 +514,16 @@ func (n *Network) TotalBytes() uint64 {
 	return b
 }
 
+// InjectedBytes reports the bytes×hops admitted into the fabric — the
+// "sent" side of the byte-conservation ledger that TotalBytes must match.
+func (n *Network) InjectedBytes() uint64 { return n.injected }
+
 // ResetStats clears per-link occupancy and byte counters, keeping topology.
 func (n *Network) ResetStats() {
 	for _, l := range n.links {
 		l.busyUntil = 0
 		l.bytes = 0
+		l.bytesAtDown = 0
 	}
+	n.injected = 0
 }

@@ -51,12 +51,22 @@ type Partition struct {
 	offline []bool
 
 	kernelsDone uint64
+
+	// Dispatch ledger: every workgroup a processed packet enqueued must be
+	// assigned to exactly one live XCD (the per-ACE assign() computation
+	// covers [0, n) with no overlap), and every completion signal armed on
+	// a processed packet must be decremented exactly once. The audit layer
+	// checks both at drain.
+	wgsEnqueued  uint64
+	wgsAssigned  uint64
+	signalsArmed uint64
+	signalsDone  uint64
 }
 
 // NewPartition groups xcds into one logical device.
 func NewPartition(name string, xcds []*XCD, env *ExecEnv, policy Policy) *Partition {
 	if len(xcds) == 0 {
-		panic("gpu: partition with no XCDs")
+		panic("gpu: invariant violated: a partition must contain at least one XCD (got 0)")
 	}
 	if env == nil {
 		env = &ExecEnv{}
@@ -120,6 +130,18 @@ func (p *Partition) TotalCUs() int {
 // KernelsCompleted reports retired dispatches.
 func (p *Partition) KernelsCompleted() uint64 { return p.kernelsDone }
 
+// DispatchLedger reports (workgroups enqueued by processed packets,
+// workgroups assigned to live XCDs) — equal when dispatch conserved work.
+func (p *Partition) DispatchLedger() (enqueued, assigned uint64) {
+	return p.wgsEnqueued, p.wgsAssigned
+}
+
+// SignalLedger reports (completion signals armed on processed packets,
+// completion signals decremented) — equal when no completion was lost.
+func (p *Partition) SignalLedger() (armed, done uint64) {
+	return p.signalsArmed, p.signalsDone
+}
+
 // assign splits flat workgroup IDs [0,n) among the XCDs by policy. Every
 // ACE computes this same assignment independently — it "knows how many
 // XCDs are in the partition, so it knows that its XCD is only responsible
@@ -174,7 +196,9 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 		}
 		q.Advance()
 		if pkt.Completion != nil {
+			p.signalsArmed++
 			pkt.Completion.Sub(done, 1)
+			p.signalsDone++
 		}
 		return done, nil
 	}
@@ -194,6 +218,10 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 	nWG := pkt.Workgroups()
 	wgSize := pkt.Workgroup.Count()
 	assignment := p.assign(nWG, live)
+	p.wgsEnqueued += uint64(nWG)
+	for _, wgs := range assignment {
+		p.wgsAssigned += uint64(len(wgs))
+	}
 
 	// Span tracing: reuse the producer's root when the packet carries one
 	// (its sampling decision is already made); otherwise offer a fresh
@@ -240,7 +268,9 @@ func (p *Partition) Process(now sim.Time, q *hsa.Queue) (sim.Time, error) {
 	q.Advance()
 	p.kernelsDone++
 	if pkt.Completion != nil {
+		p.signalsArmed++
 		pkt.Completion.Sub(kernelDone, 1)
+		p.signalsDone++
 		if root.Valid() {
 			root.Child(spans.StageComplete, "signal:"+pkt.Completion.Name, kernelDone, kernelDone)
 		}

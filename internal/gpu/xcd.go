@@ -267,7 +267,7 @@ func (x *XCD) executeWorkgroups(env *ExecEnv, start sim.Time, k *KernelSpec, wgI
 	for _, wg := range wgIDs {
 		cu, slot := x.earliestCUSlot(occ)
 		if cu == nil {
-			panic(fmt.Sprintf("gpu: xcd%d has no enabled CUs", x.ID))
+			panic(fmt.Sprintf("gpu: invariant violated: dispatch reached xcd%d with no enabled CUs (offline XCDs must be filtered by the partition)", x.ID))
 		}
 		t := start
 		if cu.slotFree[slot] > t {

@@ -108,6 +108,10 @@ type Signal struct {
 	Name    string
 	value   int64
 	setTime sim.Time
+	// decs counts Sub calls — the "response" side of completion-signal
+	// accounting. For a signal armed at N and consumed to zero purely by
+	// completion decrements, decs must equal N at drain.
+	decs uint64
 }
 
 // NewSignal returns a signal with the given initial value.
@@ -132,10 +136,14 @@ func (s *Signal) Set(t sim.Time, v int64) {
 // Sub subtracts d at simulated time t (the typical completion decrement).
 func (s *Signal) Sub(t sim.Time, d int64) {
 	s.value -= d
+	s.decs++
 	if t > s.setTime {
 		s.setTime = t
 	}
 }
+
+// Decrements reports how many Sub calls the signal has absorbed.
+func (s *Signal) Decrements() uint64 { return s.decs }
 
 // Reached reports whether the signal is at or below target, and when the
 // transition happened.
@@ -162,9 +170,23 @@ var ErrQueueFull = errors.New("hsa: queue full")
 // NewQueue returns a queue with the given power-of-two capacity.
 func NewQueue(name string, capacity int) *Queue {
 	if capacity <= 0 || capacity&(capacity-1) != 0 {
-		panic(fmt.Sprintf("hsa: queue capacity %d not a power of two", capacity))
+		panic(fmt.Sprintf("hsa: invariant violated: AQL ring capacity must be a power of two for index masking (got %d)", capacity))
 	}
 	return &Queue{Name: name, ring: make([]Packet, capacity), mask: uint64(capacity - 1)}
+}
+
+// CheckRing validates the ring-index invariants the HSA memory layout
+// depends on: the consumer never passes the producer and the occupancy
+// never exceeds the ring. A violation means an Advance/Enqueue pairing
+// bug, reported as (want, got) pairs by the audit layer.
+func (q *Queue) CheckRing() error {
+	if q.writeIdx < q.readIdx {
+		return fmt.Errorf("hsa: queue %s read index %d passed write index %d", q.Name, q.readIdx, q.writeIdx)
+	}
+	if d := q.Depth(); d > len(q.ring) {
+		return fmt.Errorf("hsa: queue %s depth %d exceeds capacity %d", q.Name, d, len(q.ring))
+	}
+	return nil
 }
 
 // Capacity reports the ring size.
@@ -218,7 +240,7 @@ func (q *Queue) At(idx uint64) (Packet, bool) {
 // the nominated ACE after all XCDs complete their subsets).
 func (q *Queue) Advance() {
 	if q.Depth() == 0 {
-		panic("hsa: advancing empty queue")
+		panic(fmt.Sprintf("hsa: invariant violated: Advance on empty queue %s (read index must stay behind write index)", q.Name))
 	}
 	q.readIdx++
 }

@@ -30,7 +30,7 @@ type AddressMap struct {
 // given granule. It panics on degenerate geometry.
 func NewAddressMap(granule int64, stacks, channelsPerStack int) *AddressMap {
 	if granule <= 0 || stacks <= 0 || channelsPerStack <= 0 {
-		panic(fmt.Sprintf("mem: bad address map geometry granule=%d stacks=%d ch=%d",
+		panic(fmt.Sprintf("mem: invariant violated: address map geometry must be positive (granule=%d stacks=%d ch=%d)",
 			granule, stacks, channelsPerStack))
 	}
 	return &AddressMap{Granule: granule, Stacks: stacks, Channels: channelsPerStack, NUMADomains: 1}

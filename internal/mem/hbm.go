@@ -32,6 +32,11 @@ type Channel struct {
 	rowMisses uint64
 	retired   bool
 	eccEvents uint64
+	// opsAtRetire freezes reads+writes at the moment the channel was
+	// retired. A retired channel must serve no new operations (the live
+	// redirect routes around it), so any growth past this mark means the
+	// interleave leaked traffic onto mapped-out hardware.
+	opsAtRetire uint64
 }
 
 // Retired reports whether the channel has been mapped out by RAS.
@@ -40,6 +45,10 @@ func (c *Channel) Retired() bool { return c.retired }
 // ECCEvents reports how many accesses on this channel hit an ECC error and
 // paid a correction-retry penalty.
 func (c *Channel) ECCEvents() uint64 { return c.eccEvents }
+
+// OpsAtRetire reports the reads+writes counter frozen when the channel
+// was retired (meaningful only while Retired() is true).
+func (c *Channel) OpsAtRetire() uint64 { return c.opsAtRetire }
 
 // Occupy claims the channel for nbytes starting no earlier than start and
 // returns the completion time (no bank modeling; kept for flat devices).
@@ -111,6 +120,13 @@ type HBM struct {
 	eccRate    float64
 	eccPenalty sim.Time
 	eccRNG     *sim.RNG
+
+	// chunks counts interleave granules issued through AccessObserved
+	// (initial issues only, not ECC retries). Request/response accounting
+	// demands Σ channel (reads+writes) == chunks + ECCEvents() at drain:
+	// every issued chunk occupied exactly one channel once, plus exactly
+	// one extra occupancy per ECC retry.
+	chunks uint64
 }
 
 // NewHBM builds a memory device: stacks × channelsPerStack channels, each
@@ -141,7 +157,7 @@ func (h *HBM) Channels() []*Channel { return h.channels }
 // Channel returns channel i.
 func (h *HBM) Channel(i int) *Channel {
 	if i < 0 || i >= len(h.channels) {
-		panic(fmt.Sprintf("mem: channel %d out of range (%d channels)", i, len(h.channels)))
+		panic(fmt.Sprintf("mem: invariant violated: channel index %d outside [0, %d)", i, len(h.channels)))
 	}
 	return h.channels[i]
 }
@@ -172,7 +188,9 @@ func (h *HBM) RetireChannel(i int) error {
 	if h.LiveChannels() == 1 {
 		return fmt.Errorf("mem: refusing to retire last live channel %d", i)
 	}
-	h.channels[i].retired = true
+	c := h.channels[i]
+	c.retired = true
+	c.opsAtRetire = c.reads + c.writes
 	return nil
 }
 
@@ -252,6 +270,7 @@ func (h *HBM) AccessObserved(start sim.Time, addr, nbytes int64, write bool, obs
 	h.Map.GranuleSpan(addr, nbytes, func(ch int, chunk int64) {
 		served := h.liveChannel(ch)
 		c := h.channels[served]
+		h.chunks++
 		issue := start + h.Latency
 		done := c.OccupyAt(issue, pos, chunk, write)
 		if obs != nil {
@@ -275,6 +294,11 @@ func (h *HBM) AccessObserved(start sim.Time, addr, nbytes int64, write bool, obs
 	})
 	return end
 }
+
+// ChunksIssued reports interleave granules issued through Access /
+// AccessObserved (ECC retries excluded) — the "request" side of the
+// channel-occupancy ledger.
+func (h *HBM) ChunksIssued() uint64 { return h.chunks }
 
 // BytesMoved reports total bytes served across all channels.
 func (h *HBM) BytesMoved() uint64 {
@@ -330,7 +354,9 @@ func (h *HBM) ResetStats() {
 		c.rowMisses = 0
 		c.openRows = nil
 		c.eccEvents = 0
+		c.opsAtRetire = 0
 	}
+	h.chunks = 0
 }
 
 // RowHitRate reports the aggregate row-buffer hit fraction.

@@ -25,7 +25,7 @@ type Space struct {
 // NewSpace returns an address space of the given byte size.
 func NewSpace(name string, size int64) *Space {
 	if size <= 0 {
-		panic(fmt.Sprintf("mem: space %q with non-positive size %d", name, size))
+		panic(fmt.Sprintf("mem: invariant violated: address space %q needs a positive size (got %d)", name, size))
 	}
 	return &Space{name: name, size: size, pages: make(map[int64]*[pageSize]byte)}
 }
@@ -70,7 +70,7 @@ func (s *Space) Reset() {
 
 func (s *Space) check(addr, n int64) {
 	if addr < 0 || n < 0 || addr+n > s.size {
-		panic(fmt.Sprintf("mem: %q access [%d, %d) out of bounds (size %d)", s.name, addr, addr+n, s.size))
+		panic(fmt.Sprintf("mem: invariant violated: %q access [%d, %d) must stay inside the space (size %d)", s.name, addr, addr+n, s.size))
 	}
 }
 

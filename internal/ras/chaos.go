@@ -1,0 +1,137 @@
+package ras
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file is the chaos harness's storm generator: seed-driven random
+// fault plans for property-based testing. RandomPlan turns (seed, spec)
+// into a Plan that always passes Validate, so a chaos sweep explores the
+// fault space without ever tripping over its own generator.
+
+// StormSpec bounds the fault storms RandomPlan draws: which fabric nodes
+// may lose links, how many HBM channels and XCDs exist, and how violent
+// one storm may get. It describes the target platform, not one storm.
+type StormSpec struct {
+	// MaxFaults bounds the storm size; each storm draws 1..MaxFaults.
+	MaxFaults int
+	// HorizonNS is the injection window: fault times draw from
+	// [0, HorizonNS).
+	HorizonNS float64
+	// Nodes are the fabric node names link faults pick pairs from; at
+	// least two are required for link faults to be drawable.
+	Nodes []string
+	// Channels is the HBM channel count channel-retire draws from.
+	Channels int
+	// XCDs is the device XCD count cu-loss draws from.
+	XCDs int
+	// PartitionXCDs is the partition member count xcd-loss draws from
+	// (positions, not device indices).
+	PartitionXCDs int
+	// MaxRetire bounds channels retired by one fault.
+	MaxRetire int
+	// MaxCULoss bounds CUs lost by one fault.
+	MaxCULoss int
+}
+
+// MI300AStorm is the storm spec for the MI300A platform the chaos
+// experiments run: four IODs, 128 HBM channels, a six-XCD SPX partition.
+func MI300AStorm() StormSpec {
+	return StormSpec{
+		MaxFaults:     6,
+		HorizonNS:     5e6,
+		Nodes:         []string{"IOD-A", "IOD-B", "IOD-C", "IOD-D"},
+		Channels:      128,
+		XCDs:          6,
+		PartitionXCDs: 6,
+		MaxRetire:     24,
+		MaxCULoss:     12,
+	}
+}
+
+func (s StormSpec) withDefaults() StormSpec {
+	if s.MaxFaults <= 0 {
+		s.MaxFaults = 4
+	}
+	if s.HorizonNS <= 0 {
+		s.HorizonNS = 1e6
+	}
+	if s.Channels <= 0 {
+		s.Channels = 1
+	}
+	if s.XCDs <= 0 {
+		s.XCDs = 1
+	}
+	if s.PartitionXCDs <= 0 {
+		s.PartitionXCDs = 1
+	}
+	if s.MaxRetire <= 0 {
+		s.MaxRetire = 1
+	}
+	if s.MaxCULoss <= 0 {
+		s.MaxCULoss = 1
+	}
+	return s
+}
+
+// RandomPlan draws a fault storm from the seeded stream: 1..MaxFaults
+// faults of random kinds with random, in-range operands. The result
+// always passes Validate — the generator's job is exploring degraded
+// states, not exercising the validator. The plan's own Seed is forked
+// from the storm seed, so two storms with different seeds also make
+// different in-fault random choices (which channels retire, which CUs
+// drop). Identical (seed, spec) pairs yield identical plans.
+func RandomPlan(seed uint64, spec StormSpec) *Plan {
+	spec = spec.withDefaults()
+	rng := sim.NewRNG(seed)
+	p := &Plan{Seed: rng.Fork(0xC4A0).Uint64()}
+
+	kinds := []FaultKind{FaultChannelRetire, FaultECCStorm, FaultCULoss, FaultXCDLoss}
+	if len(spec.Nodes) >= 2 {
+		kinds = append(kinds, FaultLinkDown, FaultLinkDerate)
+	}
+
+	n := 1 + rng.Intn(spec.MaxFaults)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Kind: kinds[rng.Intn(len(kinds))],
+			AtNS: rng.Float64() * spec.HorizonNS,
+		}
+		switch f.Kind {
+		case FaultLinkDown, FaultLinkDerate:
+			a := rng.Intn(len(spec.Nodes))
+			b := rng.Intn(len(spec.Nodes) - 1)
+			if b >= a {
+				b++ // distinct endpoints: a link needs two nodes
+			}
+			f.A, f.B = spec.Nodes[a], spec.Nodes[b]
+			if f.Kind == FaultLinkDerate {
+				// Validate requires (0, 1) exclusive; stay well inside.
+				f.Derate = 0.1 + 0.8*rng.Float64()
+			}
+		case FaultChannelRetire:
+			if rng.Intn(2) == 0 {
+				f.Count = 1 + rng.Intn(spec.MaxRetire)
+			} else {
+				f.Channel = rng.Intn(spec.Channels)
+			}
+		case FaultECCStorm:
+			f.Rate = 0.5 * rng.Float64()
+			f.PenaltyNS = 100 + 900*rng.Float64()
+		case FaultCULoss:
+			f.XCD = rng.Intn(spec.XCDs)
+			f.Count = 1 + rng.Intn(spec.MaxCULoss)
+		case FaultXCDLoss:
+			f.XCD = rng.Intn(spec.PartitionXCDs)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if err := p.Validate(); err != nil {
+		// The generator guarantees validity by construction; a failure
+		// here is a generator bug, not a caller error.
+		panic(fmt.Sprintf("ras: invariant violated: RandomPlan(%d) produced an invalid plan: %v", seed, err))
+	}
+	return p
+}

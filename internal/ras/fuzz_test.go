@@ -1,0 +1,61 @@
+package ras
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan drives the fault-plan parser with arbitrary bytes. The
+// properties: ParsePlan never panics; on error it returns a nil plan; on
+// success the plan re-marshals and re-parses to an identical value
+// (round-trip stability), and passes Validate (ParsePlan's contract).
+//
+// The committed corpus under testdata/fuzz/FuzzParsePlan seeds the
+// mutator with a valid plan, every fault kind, and the malformed shapes
+// the parser must reject (unknown fields, trailing data, bad ranges).
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		`{"seed":7,"faults":[{"kind":"link-down","at_ns":100,"a":"IOD-A","b":"IOD-B"}]}`,
+		`{"seed":1,"faults":[{"kind":"link-derate","at_ns":5,"a":"x","b":"y","derate":0.5}]}`,
+		`{"faults":[{"kind":"hbm-channel-retire","at_ns":0,"count":4}]}`,
+		`{"faults":[{"kind":"ecc-storm","at_ns":1,"rate":0.01,"penalty_ns":250}]}`,
+		`{"faults":[{"kind":"cu-loss","at_ns":9,"xcd":2,"count":8}]}`,
+		`{"faults":[{"kind":"xcd-loss","at_ns":3,"xcd":5}]}`,
+		`{"seed":1,"faults":[]}`,
+		`{"seed":1,"faluts":[]}`,
+		`{"faults":[{"kind":"link-down","at_ns":-1,"a":"a","b":"b"}]}`,
+		`{}{}`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("ParsePlan returned both a plan and error %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("ParsePlan returned nil plan with nil error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan accepted a plan its own Validate rejects: %v", verr)
+		}
+		out, merr := json.Marshal(p)
+		if merr != nil {
+			t.Fatalf("re-marshaling accepted plan: %v", merr)
+		}
+		p2, rerr := ParsePlan(out)
+		if rerr != nil {
+			t.Fatalf("round-trip re-parse failed: %v\nplan: %s", rerr, out)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round-trip changed the plan:\n first: %+v\nsecond: %+v", p, p2)
+		}
+	})
+}

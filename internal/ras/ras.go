@@ -114,14 +114,20 @@ type Plan struct {
 	Faults []Fault `json:"faults"`
 }
 
-// ParsePlan decodes a JSON fault plan and validates it. Unknown fields are
-// rejected so a typo'd plan fails loudly instead of injecting nothing.
+// ParsePlan decodes a JSON fault plan and validates it. Unknown fields
+// are rejected so a typo'd plan fails loudly instead of injecting
+// nothing, and trailing data after the plan object is rejected too (a
+// concatenated or truncated-then-glued file is a malformed plan, not a
+// plan with an opinion suffix; found by the FuzzParsePlan target).
 func ParsePlan(data []byte) (*Plan, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var p Plan
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("ras: parsing fault plan: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("ras: parsing fault plan: trailing data after plan object")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

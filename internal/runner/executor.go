@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/spans"
 	"repro/internal/telemetry"
@@ -27,6 +28,11 @@ const (
 	// from failure: a degraded suite still passes.
 	StatusDegraded Status = "degraded"
 	StatusTimeout  Status = "timeout"
+	// StatusViolated marks a run aborted by the engine watchdog (livelock,
+	// runaway queue growth, handler stall) or — under Options.Strict —
+	// failed by audit invariant violations. It is a failure status: the
+	// run's answer cannot be trusted, so retries apply.
+	StatusViolated Status = "violated"
 )
 
 // Result is the outcome of one experiment run.
@@ -63,6 +69,10 @@ type Result struct {
 	// Spans is the causal-span dump (with critical-path attribution),
 	// set only when the run built a recorder via Ctx.Spans.
 	Spans *spans.Dump
+	// Audit is the invariant-audit report, set only when the suite ran
+	// with Options.Audit and the run completed far enough to be audited
+	// (ok or degraded before auditing). It lands in the manifest.
+	Audit *audit.Report
 }
 
 // Failed reports whether the run ended abnormally. A degraded run is not a
@@ -96,6 +106,20 @@ type Options struct {
 	// so callers can stream deterministic output while later experiments
 	// are still running.
 	OnResult func(Result)
+	// Audit arms the invariant auditor on every run: each Ctx carries a
+	// live audit.Auditor that experiments wire into their platform
+	// builds, and completed runs are audited at drain. Violations mark
+	// the run degraded (or failed, under Strict) and the report lands in
+	// the result and manifest.
+	Audit bool
+	// Strict makes any audit violation fail the run as StatusViolated
+	// instead of recording it and continuing degraded.
+	Strict bool
+	// Watchdog overrides the engine watchdog's bounds; nil uses the
+	// defaults. The watchdog is always installed — it converts silent
+	// hangs (livelock, runaway queue growth, handler stalls) into typed
+	// StatusViolated results instead of burning the full Timeout.
+	Watchdog *sim.WatchdogConfig
 }
 
 // SuiteResult is the outcome of a full suite run, in registration order.
@@ -130,6 +154,18 @@ func (s *SuiteResult) Degraded() []Result {
 		}
 	}
 	return d
+}
+
+// Violated returns the results whose audit report carries violations or
+// that were aborted by the watchdog, in registration order.
+func (s *SuiteResult) Violated() []Result {
+	var v []Result
+	for _, r := range s.Results {
+		if r.Status == StatusViolated || (r.Audit != nil && !r.Audit.OK()) {
+			v = append(v, r)
+		}
+	}
+	return v
 }
 
 // WriteOutputs writes each successful experiment's output block, in
@@ -272,18 +308,32 @@ func runAttempt(e Experiment, opts Options) Result {
 	timeout := opts.Timeout
 	done := make(chan Result, 1)
 	go func() {
-		ctx := newCtx(e.ID, opts.SampleEvery, opts.SpanSample)
+		ctx := newCtx(e.ID, opts)
 		res := Result{ID: e.ID, Desc: e.Desc, Status: StatusOK}
 		start := time.Now()
+		// The watchdog converts silent hangs into a typed abort: it rides
+		// the engine hook seam, so the telemetry profile (attached later by
+		// Ctx.Telemetry) chains behind it instead of replacing it.
+		wcfg := sim.WatchdogConfig{}
+		if opts.Watchdog != nil {
+			wcfg = *opts.Watchdog
+		}
+		sim.NewWatchdog(wcfg).Install(ctx.eng)
 		// A completion sentinel stays queued unless the run finishes
 		// cleanly, so EventsPending > 0 flags an abnormal end.
 		sentinel := ctx.eng.ScheduleNamed("runner.sentinel", sim.Forever, func(sim.Time) {})
 		defer func() {
 			if p := recover(); p != nil {
-				res.Status = StatusPanic
-				res.Err = fmt.Errorf("panic: %v", p)
-				res.Stack = string(debug.Stack())
-				res.Output = ""
+				if trip, ok := p.(*sim.WatchdogTrip); ok {
+					res.Status = StatusViolated
+					res.Err = trip
+					res.Output = ""
+				} else {
+					res.Status = StatusPanic
+					res.Err = fmt.Errorf("panic: %v", p)
+					res.Stack = string(debug.Stack())
+					res.Output = ""
+				}
 			}
 			res.Wall = time.Since(start)
 			res.EventsFired = ctx.eng.Fired()
@@ -315,6 +365,25 @@ func runAttempt(e Experiment, opts Options) Result {
 		ctx.Milestone("done")
 		ctx.eng.Cancel(sentinel)
 		ctx.eng.RunAll() // reap the cancelled sentinel: a clean run drains
+		// Audit at drain: the run completed, so every conservation ledger
+		// must balance. Violations fail the run under Strict; otherwise
+		// they are recorded as fault summaries and the run continues
+		// degraded — visible, but not suite-fatal.
+		if rep := ctx.aud.Audit(ctx.eng.Now()); rep != nil {
+			res.Audit = rep
+			if !rep.OK() {
+				if opts.Strict {
+					res.Status = StatusViolated
+					res.Err = rep.Err()
+					res.Output = ""
+				} else {
+					res.Status = StatusDegraded
+					for _, v := range rep.Violations {
+						ctx.RecordFault("audit: " + v.String())
+					}
+				}
+			}
+		}
 	}()
 
 	if timeout <= 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/spans"
 	"repro/internal/telemetry"
@@ -29,7 +30,10 @@ type SuiteSummary struct {
 	OK    int `json:"ok"`
 	// Degraded counts runs that completed under injected faults — they do
 	// not count toward Failed.
-	Degraded  int     `json:"degraded,omitempty"`
+	Degraded int `json:"degraded,omitempty"`
+	// Violated counts runs aborted by the watchdog or carrying audit
+	// violations (whether or not Strict failed them).
+	Violated  int     `json:"violated,omitempty"`
 	Failed    int     `json:"failed"`
 	Parallel  int     `json:"parallel"`
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
@@ -62,6 +66,10 @@ type ExperimentRecord struct {
 	// Spans is the run's critical-path latency attribution, present only
 	// for experiments that recorded spans; omitted otherwise.
 	Spans *spans.Attribution `json:"spans,omitempty"`
+	// Audit is the run's invariant-audit report, present only when the
+	// suite ran with auditing armed; omitted otherwise, so v1 manifest
+	// readers are unaffected.
+	Audit *audit.Report `json:"audit,omitempty"`
 }
 
 // BuildManifest converts a suite result into its manifest form.
@@ -71,6 +79,7 @@ func BuildManifest(s *SuiteResult) *Manifest {
 		Suite: SuiteSummary{
 			Total:    len(s.Results),
 			Degraded: len(s.Degraded()),
+			Violated: len(s.Violated()),
 			Failed:   len(s.Failed()),
 			Parallel: s.Parallel,
 			WallMS:   s.Wall.Seconds() * 1e3,
@@ -98,6 +107,7 @@ func BuildManifest(s *SuiteResult) *Manifest {
 		if r.Spans != nil {
 			rec.Spans = r.Spans.Attribution
 		}
+		rec.Audit = r.Audit
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
 		}
@@ -164,6 +174,35 @@ func (s *SuiteResult) WriteSpanRuns(w io.Writer) error {
 	for _, r := range s.Results {
 		if r.Spans != nil {
 			out.Runs = append(out.Runs, spanRun{ID: r.ID, Spans: r.Spans})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// AuditRunsSchema identifies the audit report file (-audit-out) layout:
+// one apusim-audit/v1 report per audited run.
+const AuditRunsSchema = "apusim-audit-runs/v1"
+
+// auditRun pairs an experiment ID with its audit report.
+type auditRun struct {
+	ID    string        `json:"id"`
+	Audit *audit.Report `json:"audit"`
+}
+
+// WriteAuditRuns writes every audited run's report as indented JSON, in
+// registration order. Reports contain only simulated-time data, so the
+// output is byte-identical across repeated runs and parallelism degrees
+// for a fixed seed and fault plan.
+func (s *SuiteResult) WriteAuditRuns(w io.Writer) error {
+	out := struct {
+		Schema string     `json:"schema"`
+		Runs   []auditRun `json:"runs"`
+	}{Schema: AuditRunsSchema, Runs: []auditRun{}}
+	for _, r := range s.Results {
+		if r.Audit != nil {
+			out.Runs = append(out.Runs, auditRun{ID: r.ID, Audit: r.Audit})
 		}
 	}
 	enc := json.NewEncoder(w)

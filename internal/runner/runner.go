@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/spans"
 	"repro/internal/telemetry"
@@ -38,6 +39,7 @@ type Ctx struct {
 	telem       *telemetry.Recorder
 	spanSample  float64
 	spanRec     *spans.Recorder
+	aud         *audit.Auditor
 
 	mu         sync.Mutex
 	milestones []string
@@ -45,9 +47,23 @@ type Ctx struct {
 	degraded   bool
 }
 
-func newCtx(id string, sampleEvery sim.Time, spanSample float64) *Ctx {
-	return &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: sampleEvery, spanSample: spanSample}
+func newCtx(id string, opts Options) *Ctx {
+	c := &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: opts.SampleEvery, spanSample: opts.SpanSample}
+	if opts.Audit {
+		c.aud = audit.New()
+		// Every audited run gets the drain-quiescence check; experiments
+		// attach component ledgers by passing Auditor() into their
+		// platform builds.
+		audit.Engine(c.aud, c.eng)
+	}
+	return c
 }
+
+// Auditor returns the run's invariant auditor: non-nil only when the
+// suite ran with Options.Audit. A nil auditor is safe to pass anywhere —
+// every audit registration on it is a no-op — so experiments wire it
+// unconditionally.
+func (c *Ctx) Auditor() *audit.Auditor { return c.aud }
 
 // ID reports the experiment ID this context belongs to.
 func (c *Ctx) ID() string { return c.id }

@@ -16,7 +16,7 @@ type Clock struct {
 // frequencies: a zero-frequency domain is always a configuration bug.
 func NewClock(freqHz float64) *Clock {
 	if freqHz <= 0 {
-		panic(fmt.Sprintf("sim: invalid clock frequency %v Hz", freqHz))
+		panic(fmt.Sprintf("sim: invariant violated: clock frequency must be positive (got %v Hz)", freqHz))
 	}
 	return &Clock{FreqHz: freqHz, periodPS: 1e12 / freqHz}
 }

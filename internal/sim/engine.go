@@ -180,6 +180,20 @@ func (e *Engine) Drained() bool {
 	return true
 }
 
+// Quiescent reports whether the engine has reached its natural end state:
+// every remaining live event is parked at Forever (sentinels that never
+// fire) or the queue is drained entirely. A RunAll that returns with the
+// engine non-quiescent left real future work unexecuted — the audit layer
+// flags that as a violated drain invariant.
+func (e *Engine) Quiescent() bool {
+	for _, ev := range e.queue {
+		if !ev.dead && ev.at != Forever {
+			return false
+		}
+	}
+	return true
+}
+
 // Schedule queues fn to run at absolute time at under DefaultClass.
 // Scheduling in the past (before Now) panics: it indicates a causality bug
 // in a component model.
@@ -195,7 +209,7 @@ func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
 		panic(fmt.Sprintf("sim: scheduling %q event at %v before now %v", class, at, e.now))
 	}
 	if fn == nil {
-		panic("sim: nil handler")
+		panic(fmt.Sprintf("sim: invariant violated: %q event scheduled with a nil handler", class))
 	}
 	e.seq++
 	ev := &event{at: at, seq: e.seq, fn: fn, class: class}
@@ -206,8 +220,38 @@ func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
 	return EventID{e: ev, seq: e.seq}
 }
 
-// SetHook installs (or, with nil, removes) the execution observer.
+// SetHook installs (or, with nil, removes) the execution observer,
+// replacing anything installed before. Components that must coexist with
+// other observers (telemetry profiles, the watchdog) use AddHook instead.
 func (e *Engine) SetHook(h Hook) { e.hook = h }
+
+// AddHook chains h behind any observer already installed: every hook
+// receives every EventDone callback, in installation order. This is the
+// seam that lets the telemetry engine profile and the runtime watchdog
+// share one engine without clobbering each other.
+func (e *Engine) AddHook(h Hook) {
+	if h == nil {
+		return
+	}
+	if e.hook == nil {
+		e.hook = h
+		return
+	}
+	if m, ok := e.hook.(*multiHook); ok {
+		m.hooks = append(m.hooks, h)
+		return
+	}
+	e.hook = &multiHook{hooks: []Hook{e.hook, h}}
+}
+
+// multiHook fans one EventDone callback out to several observers.
+type multiHook struct{ hooks []Hook }
+
+func (m *multiHook) EventDone(class string, at Time, wall time.Duration) {
+	for _, h := range m.hooks {
+		h.EventDone(class, at, wall)
+	}
+}
 
 // QueueHighWater reports the deepest the event queue has ever been
 // (including cancelled events not yet reaped).
@@ -241,7 +285,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		if ev.at < e.now {
-			panic("sim: time moved backwards")
+			panic(fmt.Sprintf("sim: invariant violated: event %q at %v fires before now %v (time moved backwards)", ev.class, ev.at, e.now))
 		}
 		e.now = ev.at
 		e.fired++
@@ -265,6 +309,12 @@ func (e *Engine) Step() bool {
 // Now is advanced to the deadline if the queue drained earlier (so
 // back-to-back Run calls compose), except when deadline is Forever, in
 // which case Now rests at the last event time.
+//
+// A deadline earlier than Now is a no-op: Run means "execute everything up
+// to at least deadline", which already holds, and the clock never moves
+// backwards. AdvanceTo pins the same clamp semantics, so "run to T" and
+// "advance to T" are both idempotent. (Scheduling in the past, by
+// contrast, stays a panic — that is a causality bug, not a clamp.)
 func (e *Engine) Run(deadline Time) uint64 {
 	var n uint64
 	for len(e.queue) > 0 {
@@ -289,17 +339,21 @@ func (e *Engine) Run(deadline Time) uint64 {
 // RunAll executes events until the queue is fully drained.
 func (e *Engine) RunAll() uint64 { return e.Run(Forever) }
 
-// AdvanceTo moves the clock forward to at without firing events. It panics
-// if events earlier than at are still pending, or if at is in the past.
+// AdvanceTo moves the clock forward to at without firing events: "ensure
+// Now is at least at". A target earlier than Now is a no-op, matching
+// Run's clamp semantics for past deadlines — both operations are
+// idempotent and never move the clock backwards. It panics if live events
+// earlier than at are still pending, because silently skipping them would
+// fire them later with a stale notion of "now".
 func (e *Engine) AdvanceTo(at Time) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", at, e.now))
+		return
 	}
 	for len(e.queue) > 0 && e.queue[0].dead {
 		heap.Pop(&e.queue)
 	}
 	if len(e.queue) > 0 && e.queue[0].at < at {
-		panic("sim: AdvanceTo would skip pending events")
+		panic(fmt.Sprintf("sim: invariant violated: AdvanceTo(%v) would skip a pending %q event at %v", at, e.queue[0].class, e.queue[0].at))
 	}
 	e.now = at
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // RNG is a small, fast, deterministic xorshift64* pseudo-random generator.
 // Simulations must not use math/rand's global source: every run in this
 // repository is reproducible from an explicit seed.
@@ -37,7 +39,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("sim: Intn with non-positive n")
+		panic(fmt.Sprintf("sim: invariant violated: Intn needs a positive bound (got %d)", n))
 	}
 	return int(r.Uint64() % uint64(n))
 }

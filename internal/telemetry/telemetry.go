@@ -210,15 +210,16 @@ func (r *Recorder) SetCadence(every sim.Time) {
 // Cadence reports the recorded sampling cadence (0 if never set).
 func (r *Recorder) Cadence() sim.Time { return r.cadence }
 
-// ObserveEngine attaches this recorder's engine profile as the engine's
+// ObserveEngine attaches this recorder's engine profile as an engine
 // execution hook, so per-class fired counts, handler wall time, and the
 // queue-depth high-water mark land in the same store as the sampled
-// series.
+// series. The profile chains behind any hook already installed (for
+// example the runtime watchdog) rather than replacing it.
 func (r *Recorder) ObserveEngine(eng *sim.Engine) {
 	if r.profile == nil {
 		r.profile = NewEngineProfile()
 	}
-	eng.SetHook(r.profile)
+	eng.AddHook(r.profile)
 	r.eng = eng
 }
 

@@ -39,7 +39,7 @@ type Solver struct {
 // NewSolver returns a solver with reasonable defaults for an nx×ny grid.
 func NewSolver(nx, ny int) *Solver {
 	if nx < 4 || ny < 4 {
-		panic(fmt.Sprintf("thermal: grid %dx%d too small", nx, ny))
+		panic(fmt.Sprintf("thermal: invariant violated: solver grid must be at least 4x4 (got %dx%d)", nx, ny))
 	}
 	return &Solver{
 		Nx: nx, Ny: ny,
@@ -149,7 +149,7 @@ func (f *Field) Render() string {
 // cell, [y][x], dimensions must match the solver grid).
 func (s *Solver) Solve(powerW [][]float64) *Field {
 	if len(powerW) != s.Ny || len(powerW[0]) != s.Nx {
-		panic(fmt.Sprintf("thermal: power map %dx%d does not match grid %dx%d",
+		panic(fmt.Sprintf("thermal: invariant violated: power map %dx%d must match the solver grid %dx%d",
 			len(powerW[0]), len(powerW), s.Nx, s.Ny))
 	}
 	T := make([][]float64, s.Ny)

@@ -26,7 +26,7 @@ type Transient struct {
 // NewTransient starts a transient simulation at ambient.
 func NewTransient(s *Solver, timeConstant sim.Time) *Transient {
 	if timeConstant <= 0 {
-		panic("thermal: non-positive time constant")
+		panic(fmt.Sprintf("thermal: invariant violated: transient time constant must be positive (got %v)", timeConstant))
 	}
 	T := make([][]float64, s.Ny)
 	for j := range T {

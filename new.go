@@ -3,7 +3,10 @@ package apusim
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gpu"
 	"repro/internal/ras"
 	"repro/internal/sim"
 	"repro/internal/spans"
@@ -36,6 +39,22 @@ type (
 	SpanDump = spans.Dump
 	// SpanAttribution is the critical-path latency attribution report.
 	SpanAttribution = spans.Attribution
+	// Auditor collects runtime conservation-ledger checks and evaluates
+	// them at drain; a nil Auditor is inert, so audit wiring is free when
+	// auditing is off.
+	Auditor = audit.Auditor
+	// AuditReport is one drain-time audit evaluation (apusim-audit/v1).
+	AuditReport = audit.Report
+	// AuditViolation is one failed invariant check inside an AuditReport.
+	AuditViolation = audit.Violation
+	// WatchdogConfig bounds the engine watchdog's livelock, queue-growth,
+	// and handler-stall detectors; the zero value selects defaults.
+	WatchdogConfig = sim.WatchdogConfig
+	// WatchdogTrip is the typed abort a tripped watchdog raises; it
+	// unwraps to ErrWatchdog.
+	WatchdogTrip = sim.WatchdogTrip
+	// StormSpec bounds the random fault storms RandomFaultPlan draws.
+	StormSpec = ras.StormSpec
 )
 
 // TelemetrySchema identifies the telemetry series-dump JSON layout.
@@ -43,6 +62,22 @@ const TelemetrySchema = telemetry.DumpSchema
 
 // SpansSchema identifies the span-dump JSON layout.
 const SpansSchema = spans.DumpSchema
+
+// AuditSchema identifies the audit-report JSON layout.
+const AuditSchema = audit.Schema
+
+// Typed error sentinels, re-exported so callers can errors.Is against
+// degraded and aborted outcomes without importing internal packages.
+var (
+	// ErrPartitioned reports that fabric routing found no surviving path.
+	ErrPartitioned = fabric.ErrPartitioned
+	// ErrNoCompute reports a dispatch onto a partition with no live XCDs.
+	ErrNoCompute = gpu.ErrNoCompute
+	// ErrWatchdog is the sentinel every WatchdogTrip unwraps to.
+	ErrWatchdog = sim.ErrWatchdog
+	// ErrAuditViolation is the sentinel a failing AuditReport's Err wraps.
+	ErrAuditViolation = audit.ErrViolation
+)
 
 // DefaultSampleEvery is the telemetry sampling cadence used when none is
 // configured.
@@ -78,6 +113,20 @@ func NewSampler(eng *Engine, rec *Recorder, every Time) *Sampler {
 // ParseFaultPlan decodes and validates a JSON fault plan.
 func ParseFaultPlan(data []byte) (*FaultPlan, error) { return ras.ParsePlan(data) }
 
+// NewAuditor returns an empty invariant auditor. Pass it to New via
+// WithAudit (and to a watchdogged engine's drain check yourself if not
+// using the runner); calling Audit evaluates every registered check.
+func NewAuditor() *Auditor { return audit.New() }
+
+// RandomFaultPlan draws a seed-driven random fault storm within spec's
+// bounds; the result always passes Validate. MI300AStormSpec matches the
+// platforms the chaos experiments build.
+func RandomFaultPlan(seed uint64, spec StormSpec) *FaultPlan { return ras.RandomPlan(seed, spec) }
+
+// MI300AStormSpec is the storm spec for MI300A-shaped platforms: four
+// IODs, 128 HBM channels, a six-XCD SPX partition.
+func MI300AStormSpec() StormSpec { return ras.MI300AStorm() }
+
 // Option configures platform assembly in New.
 type Option func(*buildConfig)
 
@@ -90,6 +139,7 @@ type buildConfig struct {
 	spanRec     *spans.Recorder
 	spanSample  float64
 	haveSample  bool
+	aud         *audit.Auditor
 }
 
 // WithSeed overrides the CU-harvesting RNG seed; 0 (the default) keeps
@@ -131,6 +181,14 @@ func WithSpanSample(rate float64) Option {
 	return func(c *buildConfig) { c.spanSample = rate; c.haveSample = true }
 }
 
+// WithAudit registers the platform's conservation ledgers — fabric byte
+// conservation, HBM request/response accounting, Infinity Cache slice
+// accounting, dispatch and completion-signal ledgers, the governor's
+// shadow energy ledger — on a. A nil auditor is accepted and inert, so
+// callers can wire this unconditionally; platforms built without it pay
+// nothing at drain.
+func WithAudit(a *Auditor) Option { return func(c *buildConfig) { c.aud = a } }
+
 // New assembles a platform from a product spec plus functional options.
 // With no options it is exactly the classic constructors: NewMI300A and
 // friends are one-line wrappers over it.
@@ -149,6 +207,7 @@ func New(spec *PlatformSpec, opts ...Option) (*Platform, error) {
 		HarvestSeed: cfg.seed,
 		Telemetry:   cfg.rec,
 		Spans:       cfg.spanRec,
+		Audit:       cfg.aud,
 	})
 	if err != nil {
 		return nil, err
