@@ -128,4 +128,79 @@ echo "== fault-plan fuzz smoke =="
 # it must never panic, and accepted plans must round-trip.
 go test ./internal/ras/ -run '^$' -fuzz '^FuzzParsePlan$' -fuzztime 30s >/dev/null
 
+echo "== apusimd smoke =="
+# The daemon must serve the job API end to end: an identical resubmission
+# must be served from cache with byte-identical manifest bytes and the
+# /v1/metrics counters must say so, and SIGTERM must drain cleanly.
+tmp_apusimd=$(mktemp)
+tmp_apusimd_log=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8" "$tmp_audit_manifest" "$tmp_chaos1" "$tmp_chaos8" "$tmp_apusimd" "$tmp_apusimd_log"' EXIT
+go build -o "$tmp_apusimd" ./cmd/apusimd
+"$tmp_apusimd" -listen 127.0.0.1:0 2>"$tmp_apusimd_log" &
+apusimd_pid=$!
+apusimd_addr=""
+for _ in $(seq 1 100); do
+    apusimd_addr=$(sed -n 's/^apusimd: listening on //p' "$tmp_apusimd_log")
+    [ -n "$apusimd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$apusimd_addr" ]; then
+    echo "ci.sh: apusimd never reported its listen address" >&2
+    cat "$tmp_apusimd_log" >&2
+    exit 1
+fi
+python3 - "$apusimd_addr" <<'EOF'
+import json, sys, time, urllib.request
+
+base = "http://" + sys.argv[1] + "/v1"
+spec = json.dumps({"experiment": "table1"}).encode()
+
+def call(method, path, body=None):
+    req = urllib.request.Request(base + path, data=body, method=method)
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, resp.read()
+
+def await_terminal(job_id):
+    for _ in range(200):
+        _, body = call("GET", "/jobs/" + job_id)
+        st = json.loads(body)
+        if st["state"] not in ("queued", "running"):
+            return st
+        time.sleep(0.05)
+    raise SystemExit("job %s never finished" % job_id)
+
+code, body = call("POST", "/jobs", spec)
+first = json.loads(body)
+assert code == 202, (code, first)
+fin = await_terminal(first["id"])
+assert fin["state"] == "ok", fin
+
+code, body = call("POST", "/jobs", spec)
+second = json.loads(body)
+assert code == 200 and second["cache_hit"], (code, second)
+assert second["state"] == "ok", second
+
+_, m1 = call("GET", "/jobs/%s/manifest" % first["id"])
+_, m2 = call("GET", "/jobs/%s/manifest" % second["id"])
+assert m1 == m2, "cached manifest differs from fresh run"
+assert json.loads(m1)["schema"] == "apusim-run-manifest/v1"
+
+_, metrics = call("GET", "/metrics")
+samples = {}
+for line in metrics.decode().splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+assert samples["apusimd_cache_hits_total"] == 1, samples
+assert samples["apusimd_cache_misses_total"] == 1, samples
+assert samples['apusimd_jobs_completed_total{state="ok"}'] == 2, samples
+EOF
+kill -TERM "$apusimd_pid"
+if ! wait "$apusimd_pid"; then
+    echo "ci.sh: apusimd exited nonzero on SIGTERM" >&2
+    cat "$tmp_apusimd_log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$tmp_apusimd_log"
+
 echo "ci.sh: all checks passed"

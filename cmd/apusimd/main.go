@@ -1,0 +1,116 @@
+// Command apusimd is the simulation-as-a-service daemon: a long-running
+// HTTP front door over the experiment registry and the RAS fault
+// injector, for sweep-style workloads that submit many overlapping run
+// specs.
+//
+// The API (all under /v1):
+//
+//	POST /v1/jobs               submit a job spec, get a job status back
+//	GET  /v1/jobs               list every job, submission order
+//	GET  /v1/jobs/{id}          one job's status (?watch=1 streams NDJSON)
+//	GET  /v1/jobs/{id}/manifest the run's apusim-run-manifest/v1 JSON
+//	GET  /v1/metrics            service counters, Prometheus text format
+//	GET  /v1/healthz            liveness + drain flag
+//	GET  /v1/experiments        runnable experiment IDs
+//
+// Results are cached under the SHA-256 content address of the normalized
+// spec: resubmitting identical work returns the stored manifest
+// byte-for-byte, and identical in-flight submissions coalesce onto one
+// run. SIGINT/SIGTERM drains gracefully — new submissions get 503,
+// admitted jobs finish, and a second signal (or the -drain-grace
+// deadline) forces cancellation.
+//
+// Usage:
+//
+//	apusimd                        # listen on :8080
+//	apusimd -listen 127.0.0.1:9090 # elsewhere
+//	apusimd -workers 4 -queue 128  # pool and backlog sizing
+//	apusimd -tenant-max 8          # per-tenant in-flight cap (X-Tenant)
+//	apusimd -cache-bytes 16777216  # result cache LRU budget
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	apusim "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve the HTTP API on")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+	queueDepth := flag.Int("queue", 64, "max jobs admitted but not yet running")
+	tenantMax := flag.Int("tenant-max", 0, "max in-flight jobs per tenant (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache LRU byte budget")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock deadline")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain may take before jobs are cancelled")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Registry:          apusim.Experiments(),
+		FaultPlanRun:      apusim.ExperimentFaultPlan,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TenantMaxInFlight: *tenantMax,
+		CacheBytes:        *cacheBytes,
+		JobTimeout:        *jobTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "apusimd: listening on %s\n", ln.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "apusimd: %s: draining (in-flight jobs finish; again to force)\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "apusimd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Graceful drain, bounded by -drain-grace and cut short by a second
+	// signal; either forces cancellation of whatever is still running.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "apusimd: second signal: cancelling in-flight jobs")
+		cancel()
+	}()
+	drainErr := srv.Drain(ctx)
+	cancel()
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = hs.Shutdown(shutCtx)
+	shutCancel()
+
+	switch {
+	case drainErr == nil:
+		fmt.Fprintln(os.Stderr, "apusimd: drained cleanly")
+	case errors.Is(drainErr, context.Canceled):
+		fmt.Fprintln(os.Stderr, "apusimd: drain forced by signal; in-flight jobs cancelled")
+	default:
+		fmt.Fprintf(os.Stderr, "apusimd: drain grace expired; in-flight jobs cancelled (%v)\n", drainErr)
+		os.Exit(1)
+	}
+}

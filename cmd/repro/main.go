@@ -29,6 +29,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -147,7 +148,12 @@ func main() {
 
 	suite, err := reg.RunSuite(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v (use -list)\n", err)
+		var oe *runner.OptionsError
+		if errors.As(err, &oe) {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "repro: %v (use -list)\n", err)
+		}
 		os.Exit(2)
 	}
 

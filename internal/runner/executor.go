@@ -3,7 +3,6 @@ package runner
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -33,6 +32,12 @@ const (
 	// failed by audit invariant violations. It is a failure status: the
 	// run's answer cannot be trusted, so retries apply.
 	StatusViolated Status = "violated"
+	// StatusCancelled marks a run stopped by Options.Context: either it
+	// never started (the context was already cancelled when its turn
+	// came) or its in-flight attempt was abandoned mid-run, the same way
+	// a deadline abandons one. It is a failure status, but retries do not
+	// apply — a cancelled suite stays cancelled.
+	StatusCancelled Status = "cancelled"
 )
 
 // Result is the outcome of one experiment run.
@@ -78,49 +83,6 @@ type Result struct {
 // Failed reports whether the run ended abnormally. A degraded run is not a
 // failure: it completed under injected faults and produced output.
 func (r Result) Failed() bool { return r.Status != StatusOK && r.Status != StatusDegraded }
-
-// Options configures a suite run.
-type Options struct {
-	// Parallel is the worker-pool size; <= 0 means GOMAXPROCS.
-	Parallel int
-	// Timeout is the per-experiment wall-clock deadline; 0 disables it.
-	Timeout time.Duration
-	// Retries is how many additional attempts a failed experiment gets.
-	// Each attempt runs on a fresh context and engine — no state leaks
-	// from a failed attempt into its successor. The final attempt's result
-	// is reported, with Attempts recording how many ran.
-	Retries int
-	// IDs restricts the run to a subset (still in registration order);
-	// nil runs everything.
-	IDs []string
-	// SampleEvery is the telemetry sampling cadence handed to each run's
-	// context; 0 selects telemetry.DefaultCadence. It only matters for
-	// experiments that call Ctx.Telemetry/ArmSampler.
-	SampleEvery sim.Time
-	// SpanSample is the span head-sampling rate handed to each run's
-	// context; values outside (0, 1] select 1 (trace every root). It only
-	// matters for experiments that call Ctx.Spans.
-	SpanSample float64
-	// OnResult, when set, is called once per experiment in registration
-	// order as soon as the result (and all earlier ones) are available,
-	// so callers can stream deterministic output while later experiments
-	// are still running.
-	OnResult func(Result)
-	// Audit arms the invariant auditor on every run: each Ctx carries a
-	// live audit.Auditor that experiments wire into their platform
-	// builds, and completed runs are audited at drain. Violations mark
-	// the run degraded (or failed, under Strict) and the report lands in
-	// the result and manifest.
-	Audit bool
-	// Strict makes any audit violation fail the run as StatusViolated
-	// instead of recording it and continuing degraded.
-	Strict bool
-	// Watchdog overrides the engine watchdog's bounds; nil uses the
-	// defaults. The watchdog is always installed — it converts silent
-	// hangs (livelock, runaway queue growth, handler stalls) into typed
-	// StatusViolated results instead of burning the full Timeout.
-	Watchdog *sim.WatchdogConfig
-}
 
 // SuiteResult is the outcome of a full suite run, in registration order.
 type SuiteResult struct {
@@ -204,9 +166,15 @@ func WriteResult(w io.Writer, r Result) error {
 // Each experiment runs on its own goroutine with its own sim.Engine; a
 // panic is recovered into a StatusPanic result and the rest of the suite
 // still completes. Results come back in registration order regardless of
-// completion order. It returns an error only for an unknown ID in
-// opts.IDs — individual experiment failures are reported per-result.
+// completion order. It returns an error only for invalid options (a
+// typed *OptionsError) or an unknown ID in opts.IDs — individual
+// experiment failures are reported per-result. Cancelling Options.Context
+// converts not-yet-started experiments into StatusCancelled results and
+// abandons in-flight attempts; the suite still returns in order.
 func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	exps := r.Experiments()
 	if opts.IDs != nil {
 		want := make(map[string]bool, len(opts.IDs))
@@ -226,9 +194,6 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 	}
 
 	workers := opts.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(exps) {
 		workers = len(exps)
 	}
@@ -249,7 +214,11 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(exps[i], opts)
+				if err := opts.ctx().Err(); err != nil {
+					results[i] = cancelledResult(exps[i], err)
+				} else {
+					results[i] = runOne(exps[i], opts)
+				}
 				close(ready[i])
 			}
 		}()
@@ -279,21 +248,27 @@ func (r *Registry) RunSuite(opts Options) (*SuiteResult, error) {
 	}, nil
 }
 
+// cancelledResult synthesizes the typed result for an experiment the
+// suite's context stopped, whether it never started or was abandoned.
+func cancelledResult(e Experiment, cause error) Result {
+	return Result{
+		ID: e.ID, Desc: e.Desc, Status: StatusCancelled,
+		Err: fmt.Errorf("cancelled: %w", cause),
+	}
+}
+
 // runOne executes a single experiment with panic recovery, an optional
 // wall-clock deadline, and up to retries additional attempts on failure.
 // Every attempt runs on a completely fresh context and engine, so a
 // crashed attempt cannot poison its successor; the final attempt's result
-// is returned with Attempts counting how many ran.
+// is returned with Attempts counting how many ran. Cancellation ends the
+// retry loop immediately: a cancelled attempt is never retried.
 func runOne(e Experiment, opts Options) Result {
-	retries := opts.Retries
-	if retries < 0 {
-		retries = 0
-	}
 	var res Result
-	for attempt := 1; attempt <= retries+1; attempt++ {
+	for attempt := 1; attempt <= opts.Retries+1; attempt++ {
 		res = runAttempt(e, opts)
 		res.Attempts = attempt
-		if !res.Failed() {
+		if !res.Failed() || res.Status == StatusCancelled {
 			break
 		}
 	}
@@ -302,8 +277,9 @@ func runOne(e Experiment, opts Options) Result {
 
 // runAttempt executes one attempt of an experiment with panic recovery and
 // an optional wall-clock deadline. The run happens on a fresh goroutine so
-// a deadline can abandon it; an abandoned run keeps its private engine
-// and context, so there is no shared state to race on.
+// a deadline — or a cancelled Options.Context — can abandon it; an
+// abandoned run keeps its private engine and context, so there is no
+// shared state to race on.
 func runAttempt(e Experiment, opts Options) Result {
 	timeout := opts.Timeout
 	done := make(chan Result, 1)
@@ -386,8 +362,14 @@ func runAttempt(e Experiment, opts Options) Result {
 		}
 	}()
 
+	ctx := opts.ctx()
 	if timeout <= 0 {
-		return <-done
+		select {
+		case res := <-done:
+			return res
+		case <-ctx.Done():
+			return cancelledResult(e, ctx.Err())
+		}
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -400,5 +382,7 @@ func runAttempt(e Experiment, opts Options) Result {
 			Err:  fmt.Errorf("exceeded %v deadline", timeout),
 			Wall: timeout,
 		}
+	case <-ctx.Done():
+		return cancelledResult(e, ctx.Err())
 	}
 }

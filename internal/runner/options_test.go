@@ -1,0 +1,231 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Satellite: Options are validated up front. Nonsense values return a
+// typed *OptionsError naming the field before any experiment starts.
+func TestOptionsValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"zero parallel", Options{}, "Parallel"},
+		{"negative parallel", Options{Parallel: -2}, "Parallel"},
+		{"negative timeout", Options{Parallel: 1, Timeout: -time.Second}, "Timeout"},
+		{"negative retries", Options{Parallel: 1, Retries: -1}, "Retries"},
+		{"negative cadence", Options{Parallel: 1, SampleEvery: -5}, "SampleEvery"},
+		{"nan span rate", Options{Parallel: 1, SpanSample: math.NaN()}, "SpanSample"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opts.Validate()
+			var oe *OptionsError
+			if !errors.As(err, &oe) {
+				t.Fatalf("Validate() = %v, want *OptionsError", err)
+			}
+			if oe.Field != c.field {
+				t.Errorf("field = %q, want %q", oe.Field, c.field)
+			}
+			if oe.Error() == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
+func TestOptionsValidateAcceptsSensible(t *testing.T) {
+	cases := []Options{
+		{Parallel: 1},
+		{Parallel: DefaultParallel(), Timeout: time.Minute, Retries: 3},
+		{Parallel: 8, SampleEvery: 0, SpanSample: 0.25},
+		{Parallel: 2, SpanSample: 7}, // outside (0, 1] traces everything — legal
+	}
+	for i, o := range cases {
+		if err := o.Validate(); err != nil {
+			t.Errorf("case %d: Validate() = %v, want nil", i, err)
+		}
+	}
+}
+
+// RunSuite refuses to start on invalid options, with the typed error.
+func TestRunSuiteValidatesUpFront(t *testing.T) {
+	r := testRegistry()
+	var ran int32
+	r.MustRegister(Experiment{ID: "probe", Desc: "must never run",
+		Run: func(*Ctx) (string, error) {
+			atomic.AddInt32(&ran, 1)
+			return "", nil
+		}})
+	for _, opts := range []Options{{}, {Parallel: -1}, {Parallel: 2, Retries: -3}} {
+		s, err := r.RunSuite(opts)
+		var oe *OptionsError
+		if !errors.As(err, &oe) {
+			t.Fatalf("RunSuite(%+v) err = %v, want *OptionsError", opts, err)
+		}
+		if s != nil {
+			t.Fatalf("RunSuite returned a suite alongside the error")
+		}
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Error("an experiment ran despite invalid options")
+	}
+}
+
+func TestDefaultParallelIsPositive(t *testing.T) {
+	if DefaultParallel() < 1 {
+		t.Fatalf("DefaultParallel() = %d", DefaultParallel())
+	}
+	if err := (Options{Parallel: DefaultParallel()}).Validate(); err != nil {
+		t.Fatalf("default parallel rejected: %v", err)
+	}
+}
+
+// Satellite: a pre-cancelled context yields typed StatusCancelled results
+// for every experiment — nothing runs, nothing hangs.
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	r := testRegistry()
+	var ran int32
+	r.MustRegister(Experiment{ID: "never", Desc: "context already dead",
+		Run: func(*Ctx) (string, error) {
+			atomic.AddInt32(&ran, 1)
+			return "", nil
+		}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := r.RunSuite(Options{Parallel: 4, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Error("experiment ran under a pre-cancelled context")
+	}
+	for _, res := range s.Results {
+		if res.Status != StatusCancelled {
+			t.Errorf("%s status = %s, want cancelled", res.ID, res.Status)
+		}
+		if res.Err == nil || !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("%s err = %v, want context.Canceled cause", res.ID, res.Err)
+		}
+		if res.Failed() != true {
+			t.Errorf("%s cancelled result should count as failed", res.ID)
+		}
+	}
+}
+
+// Cancelling mid-suite abandons the in-flight attempt with a typed status
+// instead of hanging, and experiments that had not started are cancelled
+// without running.
+func TestCancelMidSuiteAbandonsInFlight(t *testing.T) {
+	r := NewRegistry()
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	r.MustRegister(Experiment{ID: "stuck", Desc: "blocks until released",
+		Run: func(*Ctx) (string, error) {
+			close(started)
+			<-block
+			return "late\n", nil
+		}})
+	var laterRan int32
+	r.MustRegister(Experiment{ID: "later", Desc: "queued behind stuck",
+		Run: func(*Ctx) (string, error) {
+			atomic.AddInt32(&laterRan, 1)
+			return "ok\n", nil
+		}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	doneCh := make(chan *SuiteResult, 1)
+	go func() {
+		s, err := r.RunSuite(Options{Parallel: 1, Context: ctx})
+		if err != nil {
+			t.Errorf("RunSuite: %v", err)
+		}
+		doneCh <- s
+	}()
+	var s *SuiteResult
+	select {
+	case s = <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled suite hung")
+	}
+	if s.Results[0].Status != StatusCancelled {
+		t.Errorf("stuck status = %s, want cancelled", s.Results[0].Status)
+	}
+	if s.Results[1].Status != StatusCancelled {
+		t.Errorf("later status = %s, want cancelled", s.Results[1].Status)
+	}
+	if atomic.LoadInt32(&laterRan) != 0 {
+		t.Error("experiment queued behind the cancellation still ran")
+	}
+}
+
+// A cancelled attempt is not retried: the retry budget applies to real
+// failures, not to the suite being told to stop.
+func TestCancelledAttemptIsNotRetried(t *testing.T) {
+	r := NewRegistry()
+	var calls int32
+	started := make(chan struct{}, 8)
+	block := make(chan struct{})
+	defer close(block)
+	r.MustRegister(Experiment{ID: "c", Desc: "counts attempts",
+		Run: func(*Ctx) (string, error) {
+			atomic.AddInt32(&calls, 1)
+			started <- struct{}{}
+			<-block
+			return "", nil
+		}})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	s, err := r.RunSuite(Options{Parallel: 1, Retries: 5, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Results[0]
+	if res.Status != StatusCancelled || res.Attempts != 1 {
+		t.Fatalf("result = %s attempts %d, want cancelled/1", res.Status, res.Attempts)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("run function called %d times, want 1", got)
+	}
+}
+
+// Cancelled runs land in the manifest as failures with the typed status.
+func TestCancelledStatusInManifest(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 3; i++ {
+		i := i
+		r.MustRegister(Experiment{ID: fmt.Sprintf("e%d", i), Desc: "x",
+			Run: func(*Ctx) (string, error) { return "out\n", nil }})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := r.RunSuite(Options{Parallel: 2, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := BuildManifest(s)
+	if m.Suite.Failed != 3 {
+		t.Errorf("manifest failed = %d, want 3", m.Suite.Failed)
+	}
+	for _, rec := range m.Experiments {
+		if rec.Status != StatusCancelled || rec.Error == "" {
+			t.Errorf("record %s = %s (%q), want cancelled with error", rec.ID, rec.Status, rec.Error)
+		}
+	}
+}

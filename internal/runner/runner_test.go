@@ -203,14 +203,14 @@ func TestTimeout(t *testing.T) {
 
 func TestSubsetAndUnknownID(t *testing.T) {
 	r := testRegistry()
-	s, err := r.RunSuite(Options{IDs: []string{"e5", "e1"}})
+	s, err := r.RunSuite(Options{Parallel: 1, IDs: []string{"e5", "e1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Results) != 2 || s.Results[0].ID != "e1" || s.Results[1].ID != "e5" {
 		t.Fatalf("subset results = %+v, want [e1 e5] in registration order", s.Results)
 	}
-	if _, err := r.RunSuite(Options{IDs: []string{"nope"}}); err == nil {
+	if _, err := r.RunSuite(Options{Parallel: 1, IDs: []string{"nope"}}); err == nil {
 		t.Fatal("unknown ID accepted")
 	}
 }
@@ -246,7 +246,7 @@ func TestCtxMilestonesAndEngineStats(t *testing.T) {
 			return "x", nil
 		},
 	})
-	s, err := r.RunSuite(Options{})
+	s, err := r.RunSuite(Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestManifestJSONRoundTrips(t *testing.T) {
 
 func TestSummaryTableShape(t *testing.T) {
 	r := testRegistry()
-	s, err := r.RunSuite(Options{})
+	s, err := r.RunSuite(Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestRetriesExhaustedKeepsFailure(t *testing.T) {
 			return "", errors.New("permanent failure")
 		},
 	})
-	s, err := r.RunSuite(Options{Retries: 2})
+	s, err := r.RunSuite(Options{Parallel: 1, Retries: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +421,7 @@ func TestDegradedDistinctFromFailed(t *testing.T) {
 			return "degraded but complete\n", nil
 		},
 	})
-	s, err := r.RunSuite(Options{})
+	s, err := r.RunSuite(Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached job result: the terminal state a run reached and
+// the exact manifest bytes it produced. Hits return these bytes verbatim,
+// so a cached response is byte-identical to the fresh one by
+// construction.
+type Entry struct {
+	// State is the terminal job state the run reached (ok or degraded —
+	// failures are never cached).
+	State JobState
+	// Manifest is the apusim-run-manifest/v1 JSON.
+	Manifest []byte
+	// Attempts is how many attempts the original run took, echoed to
+	// cache-hit jobs so clients see the real cost of the cached result.
+	Attempts int
+}
+
+// size is the entry's charge against the cache's byte budget.
+func (e Entry) size() int64 { return int64(len(e.Manifest)) + int64(len(e.State)) }
+
+// CacheStats is a point-in-time snapshot of the cache's counters.
+type CacheStats struct {
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+	// Hits, Misses, and Evictions are cumulative since construction.
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Cache is a content-addressed result cache with an LRU byte budget:
+// manifests are stored under their spec's SHA-256 content address, and
+// when the stored bytes exceed the budget the least-recently-used entries
+// are evicted. All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used; values are *cacheItem
+	byKey  map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// cacheItem is one resident entry with its key, for reverse lookup during
+// eviction.
+type cacheItem struct {
+	key   string
+	entry Entry
+}
+
+// NewCache returns a cache bounded to the given byte budget. A budget
+// <= 0 means "no storage": every Get misses and Put is a no-op, which
+// makes a disabled cache behave exactly like a cold one.
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the entry stored under key, marking it most recently used.
+// Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// Put stores an entry under key, evicting least-recently-used entries
+// until the budget holds. An entry bigger than the whole budget is not
+// stored at all — evicting everything to fit one oversized manifest would
+// just thrash. Re-putting an existing key replaces its entry.
+func (c *Cache) Put(key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 || e.size() > c.budget {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		item := el.Value.(*cacheItem)
+		c.bytes += e.size() - item.entry.size()
+		item.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+		c.bytes += e.size()
+	}
+	for c.bytes > c.budget {
+		oldest := c.ll.Back()
+		item := oldest.Value.(*cacheItem)
+		c.ll.Remove(oldest)
+		delete(c.byKey, item.key)
+		c.bytes -= item.entry.size()
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

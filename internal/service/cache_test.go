@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func entry(size int) Entry {
+	// JobOK is 2 bytes of state charge; pad the manifest to hit the size.
+	return Entry{State: JobOK, Manifest: []byte(strings.Repeat("m", size-2))}
+}
+
+func TestCacheHitMissCounting(t *testing.T) {
+	c := NewCache(1 << 10)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("k1", entry(10))
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("miss after Put")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry, 10 bytes", st)
+	}
+}
+
+func TestCacheReturnsStoredBytes(t *testing.T) {
+	c := NewCache(1 << 10)
+	want := Entry{State: JobDegraded, Manifest: []byte(`{"schema":"apusim-run-manifest/v1"}`), Attempts: 2}
+	c.Put("k", want)
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if string(got.Manifest) != string(want.Manifest) || got.State != want.State || got.Attempts != want.Attempts {
+		t.Errorf("Get returned %+v, want %+v", got, want)
+	}
+}
+
+func TestCacheEvictsLRUUnderBudget(t *testing.T) {
+	c := NewCache(100)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), entry(30)) // 4×30 > 100 → k0 evicted
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 survived; it was least recently used")
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted; budget held 3 entries", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 90 || st.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 90 bytes, 3 entries", st)
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := NewCache(100)
+	c.Put("old", entry(30))
+	c.Put("mid", entry(30))
+	c.Put("new", entry(30))
+	c.Get("old") // touch → "mid" becomes LRU
+	c.Put("push", entry(30))
+	if _, ok := c.Get("mid"); ok {
+		t.Error("mid survived; it was LRU after old was touched")
+	}
+	if _, ok := c.Get("old"); !ok {
+		t.Error("old evicted despite being recently used")
+	}
+}
+
+func TestCachePutReplacesExistingKey(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", entry(30))
+	c.Put("k", entry(50))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 50 {
+		t.Errorf("after replace: %+v, want 1 entry of 50 bytes", st)
+	}
+	got, _ := c.Get("k")
+	if len(got.Manifest) != 48 {
+		t.Errorf("Get returned the stale entry (%d manifest bytes)", len(got.Manifest))
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := NewCache(40)
+	c.Put("small", entry(30))
+	c.Put("huge", entry(41)) // bigger than the whole budget
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry was stored")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized Put evicted the resident entry without storing anything")
+	}
+}
+
+func TestCacheDisabledByZeroBudget(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", entry(10))
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-budget cache stored an entry")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("zero-budget cache has occupancy: %+v", st)
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	c := NewCache(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Put(k, entry(16))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("hits %d + misses %d != %d gets", st.Hits, st.Misses, 8*200)
+	}
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// JobState is one point in a job's lifecycle. Jobs move
+// queued → running → one terminal state; cache-hit and coalesced jobs
+// may reach a terminal state without ever running.
+type JobState string
+
+// The job lifecycle.
+const (
+	// JobQueued means the job is admitted and waiting for a worker (or,
+	// for a coalesced job, waiting on the identical in-flight run).
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is simulating the job now.
+	JobRunning JobState = "running"
+	// JobOK, JobDegraded, and JobViolated mirror the runner's statuses of
+	// the same names: completed clean, completed under injected faults,
+	// and aborted by the watchdog or strict audit.
+	JobOK       JobState = "ok"
+	JobDegraded JobState = "degraded"
+	JobViolated JobState = "violated"
+	// JobFailed covers the remaining runner failures: errors, panics,
+	// and timeouts. The status record's Error field says which.
+	JobFailed JobState = "failed"
+	// JobCancelled marks a job stopped by a forced shutdown before it
+	// could finish.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// Transition is one recorded state change.
+type Transition struct {
+	State JobState  `json:"state"`
+	At    time.Time `json:"at"`
+}
+
+// JobStatus is the wire form of a job's current state, served by
+// GET /v1/jobs/{id} and streamed by ?watch=1.
+type JobStatus struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant,omitempty"`
+	State  JobState `json:"state"`
+	// SpecHash is the content address of the job's normalized spec — the
+	// cache key.
+	SpecHash string `json:"spec_hash"`
+	// CacheHit marks a job served from the stored result cache;
+	// Coalesced marks one that waited on an identical in-flight run
+	// instead of simulating again. Both reuse a result, so both count as
+	// cache hits for throughput accounting.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Attempts is how many runner attempts produced the result (echoed
+	// from the original run for reused results).
+	Attempts int `json:"attempts,omitempty"`
+	// Error describes a failed/cancelled/violated outcome.
+	Error string `json:"error,omitempty"`
+	// HasManifest says whether GET /v1/jobs/{id}/manifest will succeed.
+	HasManifest bool `json:"has_manifest"`
+	// Transitions is the recorded lifecycle so far.
+	Transitions []Transition `json:"transitions"`
+}
+
+// Job is one submitted run. All fields behind mu; accessors copy.
+type Job struct {
+	id     string
+	tenant string
+	spec   *Spec
+	key    string
+
+	mu          sync.Mutex
+	state       JobState
+	errMsg      string
+	attempts    int
+	cacheHit    bool
+	coalesced   bool
+	manifest    []byte
+	transitions []Transition
+	subs        []chan JobStatus
+}
+
+// newJob constructs a job in the queued state.
+func newJob(id, tenant string, spec *Spec, key string) *Job {
+	j := &Job{id: id, tenant: tenant, spec: spec, key: key}
+	j.state = JobQueued
+	j.transitions = []Transition{{State: JobQueued, At: time.Now().UTC()}}
+	return j
+}
+
+// Status returns a snapshot of the job's current state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() JobStatus {
+	return JobStatus{
+		ID:          j.id,
+		Tenant:      j.tenant,
+		State:       j.state,
+		SpecHash:    j.key,
+		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+		Attempts:    j.attempts,
+		Error:       j.errMsg,
+		HasManifest: len(j.manifest) > 0,
+		Transitions: append([]Transition(nil), j.transitions...),
+	}
+}
+
+// Manifest returns the job's stored manifest bytes, or nil if the job has
+// not produced one (yet, or at all).
+func (j *Job) Manifest() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest
+}
+
+// setState records a transition and notifies watchers. Transitions to a
+// terminal state carry the outcome; later calls on a terminal job are
+// ignored (a forced shutdown racing a finishing worker must not flip a
+// completed job to cancelled).
+func (j *Job) setState(state JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.transitions = append(j.transitions, Transition{State: state, At: time.Now().UTC()})
+	j.notifyLocked()
+}
+
+// finish records the terminal outcome in one step.
+func (j *Job) finish(state JobState, manifest []byte, errMsg string, attempts int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.manifest = manifest
+	j.errMsg = errMsg
+	j.attempts = attempts
+	j.transitions = append(j.transitions, Transition{State: state, At: time.Now().UTC()})
+	j.notifyLocked()
+}
+
+// notifyLocked pushes the current status to every subscriber. Channels
+// are buffered deep enough for the whole lifecycle, so sends never block
+// with j.mu held.
+func (j *Job) notifyLocked() {
+	st := j.statusLocked()
+	for _, ch := range j.subs {
+		select {
+		case ch <- st:
+		default: // a stalled watcher loses intermediate states, never the lock
+		}
+	}
+}
+
+// subscribe registers a watcher and primes it with the current status.
+// The channel buffer covers every state a job can pass through, so a
+// draining reader sees each transition.
+func (j *Job) subscribe() chan JobStatus {
+	ch := make(chan JobStatus, 8)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs = append(j.subs, ch)
+	ch <- j.statusLocked()
+	return ch
+}
+
+// unsubscribe removes a watcher.
+func (j *Job) unsubscribe(ch chan JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, c := range j.subs {
+		if c == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,589 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/ras"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config wires a Server's dependencies and limits. Registry is the only
+// required field.
+type Config struct {
+	// Registry supplies the experiments jobs may run.
+	Registry *runner.Registry
+	// FaultPlanRun executes an ad-hoc fault-plan job (the cmd/repro
+	// -faults path). Nil rejects fault-plan specs at submission.
+	FaultPlanRun func(*runner.Ctx, *ras.Plan) (string, error)
+	// Workers is the worker-pool width; <= 0 selects one per CPU.
+	Workers int
+	// QueueDepth bounds the admitted-but-not-running backlog; a full
+	// queue rejects submissions with 429. <= 0 selects 64.
+	QueueDepth int
+	// TenantMaxInFlight caps one tenant's queued+running fresh jobs, so a
+	// sweep from one client cannot starve everyone else; 0 disables the
+	// cap. Cache hits and coalesced jobs are exempt — they consume no
+	// worker.
+	TenantMaxInFlight int
+	// CacheBytes is the result cache's LRU byte budget; <= 0 selects
+	// 64 MiB. Set to 1 to effectively disable caching (no manifest fits).
+	CacheBytes int64
+	// JobTimeout is the per-job wall-clock deadline; <= 0 selects 2m.
+	JobTimeout time.Duration
+}
+
+// DefaultTenant is the tenant jobs without an X-Tenant header bill to.
+const DefaultTenant = "default"
+
+// Server is the simulation-as-a-service daemon core: job store, bounded
+// queue, worker pool, result cache, and HTTP API. Construct with New,
+// serve Handler(), stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	metrics   *telemetry.Set
+	submitted *telemetry.Var
+	rejected  map[string]*telemetry.Var
+	completed map[JobState]*telemetry.Var
+	coalesced *telemetry.Var
+	misses    *telemetry.Var
+
+	mu             sync.Mutex
+	draining       bool
+	queue          chan *Job
+	jobs           map[string]*Job
+	order          []string
+	seq            int
+	leaders        map[string]*Job   // content key → in-flight cacheable run
+	followers      map[string][]*Job // content key → jobs coalesced onto it
+	tenantInFlight map[string]int
+	running        int
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+	mux       *http.ServeMux
+}
+
+// New validates the config, builds the server, and starts its worker
+// pool. The returned server is live: Handler() can be mounted and jobs
+// submitted immediately. Call Drain to stop it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("service: Config.Registry is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runner.DefaultParallel()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	s := &Server{
+		cfg:            cfg,
+		cache:          NewCache(cfg.CacheBytes),
+		queue:          make(chan *Job, cfg.QueueDepth),
+		jobs:           make(map[string]*Job),
+		leaders:        make(map[string]*Job),
+		followers:      make(map[string][]*Job),
+		tenantInFlight: make(map[string]int),
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.initMetrics()
+	s.initMux()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// initMetrics registers the service-level counter set served by
+// GET /v1/metrics. Queue, cache, and occupancy values are Func metrics
+// read at scrape time from their owning structures.
+func (s *Server) initMetrics() {
+	m := telemetry.NewSet()
+	s.metrics = m
+	s.submitted = m.Counter("apusimd_jobs_submitted_total",
+		"Jobs accepted for processing, including cache hits and coalesced jobs.")
+	s.rejected = map[string]*telemetry.Var{}
+	for _, reason := range []string{"queue_full", "tenant_limit", "draining", "invalid"} {
+		s.rejected[reason] = m.Counter("apusimd_jobs_rejected_total",
+			"Submissions refused at admission, by reason.",
+			telemetry.Label{Key: "reason", Value: reason})
+	}
+	s.completed = map[JobState]*telemetry.Var{}
+	for _, st := range []JobState{JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled} {
+		s.completed[st] = m.Counter("apusimd_jobs_completed_total",
+			"Jobs that reached a terminal state, by state.",
+			telemetry.Label{Key: "state", Value: string(st)})
+	}
+	m.CounterFunc("apusimd_cache_hits_total",
+		"Submissions served verbatim from the stored result cache.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	s.coalesced = m.Counter("apusimd_cache_coalesced_total",
+		"Submissions that waited on an identical in-flight run instead of re-simulating.")
+	s.misses = m.Counter("apusimd_cache_misses_total",
+		"Cache-participating submissions that required a fresh simulation.")
+	m.CounterFunc("apusimd_cache_evictions_total",
+		"Cache entries evicted to hold the LRU byte budget.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	m.GaugeFunc("apusimd_cache_bytes",
+		"Bytes of manifests currently resident in the result cache.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	m.GaugeFunc("apusimd_cache_entries",
+		"Manifests currently resident in the result cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	m.GaugeFunc("apusimd_queue_depth",
+		"Jobs admitted and waiting for a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	m.GaugeFunc("apusimd_jobs_running",
+		"Jobs currently simulating on workers.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+}
+
+// Metrics exposes the server's counter set (tests and embedders).
+func (s *Server) Metrics() *telemetry.Set { return s.metrics }
+
+// CacheStats exposes the result cache's counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// worker drains the job queue until Drain closes it. A worker that picks
+// up a job after a forced shutdown cancels it instead of simulating.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		if err := s.runCtx.Err(); err != nil {
+			s.finishJob(job, JobCancelled, nil, "cancelled: shutdown before the job ran", 0)
+			continue
+		}
+		job.setState(JobRunning)
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		res, manifest := s.simulate(job)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		errMsg := ""
+		if res.Err != nil {
+			errMsg = res.Err.Error()
+		}
+		s.finishJob(job, stateForStatus(res.Status), manifest, errMsg, res.Attempts)
+	}
+}
+
+// simulate runs one job on the runner — per-job engine, panic isolation,
+// watchdog, deadline, retries — and renders its manifest. Wall-clock
+// durations are zeroed before rendering: the manifest a service job
+// returns is the deterministic simulated-time record, byte-identical for
+// every run of the same normalized spec, which is what makes it cacheable
+// under a content address.
+func (s *Server) simulate(job *Job) (runner.Result, []byte) {
+	spec := job.spec.normalized()
+	reg := s.cfg.Registry
+	id := spec.Experiment
+	if spec.FaultPlan != nil {
+		plan := spec.FaultPlan
+		reg = runner.NewRegistry()
+		reg.MustRegister(runner.Experiment{
+			ID:   "faultplan",
+			Desc: fmt.Sprintf("ad-hoc RAS fault plan (%d faults, seed %d)", len(plan.Faults), plan.Seed),
+			Run: func(ctx *runner.Ctx) (string, error) {
+				return s.cfg.FaultPlanRun(ctx, plan)
+			},
+		})
+		id = "faultplan"
+	}
+	opts := runner.Options{
+		Parallel:    1,
+		IDs:         []string{id},
+		Timeout:     s.cfg.JobTimeout,
+		Retries:     spec.Retries,
+		Context:     s.runCtx,
+		SampleEvery: sim.Time(spec.SampleNS) * sim.Nanosecond,
+		SpanSample:  1,
+		Audit:       spec.Audit,
+		Strict:      spec.Strict,
+	}
+	if spec.Spans {
+		opts.SpanSample = spec.SpanSample
+	}
+	suite, err := reg.RunSuite(opts)
+	if err != nil {
+		return runner.Result{ID: id, Status: runner.StatusError, Err: err, Attempts: 1}, nil
+	}
+	suite.Wall = 0
+	for i := range suite.Results {
+		suite.Results[i].Wall = 0
+	}
+	var buf bytes.Buffer
+	if err := runner.BuildManifest(suite).WriteJSON(&buf); err != nil {
+		return runner.Result{ID: id, Status: runner.StatusError, Err: err, Attempts: 1}, nil
+	}
+	return suite.Results[0], buf.Bytes()
+}
+
+// stateForStatus maps a runner status onto the job lifecycle.
+func stateForStatus(st runner.Status) JobState {
+	switch st {
+	case runner.StatusOK:
+		return JobOK
+	case runner.StatusDegraded:
+		return JobDegraded
+	case runner.StatusViolated:
+		return JobViolated
+	case runner.StatusCancelled:
+		return JobCancelled
+	default: // error, panic, timeout
+		return JobFailed
+	}
+}
+
+// cacheable reports whether a terminal state's manifest may be stored
+// and reused. Only completed runs qualify: failures may be transient
+// (timeouts, panics) and cancellations are shutdown artifacts.
+func cacheable(state JobState) bool { return state == JobOK || state == JobDegraded }
+
+// finishJob records a queue job's terminal outcome: stores the manifest
+// under the job's content address, completes the job, and completes every
+// coalesced follower with the same result.
+func (s *Server) finishJob(job *Job, state JobState, manifest []byte, errMsg string, attempts int) {
+	s.mu.Lock()
+	var fols []*Job
+	if !job.spec.NoCache {
+		if s.leaders[job.key] == job {
+			delete(s.leaders, job.key)
+			fols = s.followers[job.key]
+			delete(s.followers, job.key)
+		}
+		if cacheable(state) && manifest != nil {
+			s.cache.Put(job.key, Entry{State: state, Manifest: manifest, Attempts: attempts})
+		}
+	}
+	s.tenantInFlight[job.tenant]--
+	if s.tenantInFlight[job.tenant] <= 0 {
+		delete(s.tenantInFlight, job.tenant)
+	}
+	s.mu.Unlock()
+
+	job.finish(state, manifest, errMsg, attempts)
+	s.completed[state].Add(1)
+	for _, f := range fols {
+		f.finish(state, manifest, errMsg, attempts)
+		s.completed[state].Add(1)
+	}
+}
+
+// Drain stops the server gracefully: new submissions are refused with
+// 503, already-admitted jobs run to completion, and the call returns when
+// the pool is idle. If ctx expires first, the drain turns forced — the
+// shared run context is cancelled, in-flight attempts are abandoned with
+// typed cancelled results, still-queued jobs are cancelled without
+// running — and the ctx error is returned after the pool exits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRun()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxSpecBytes bounds a submission body; fault plans are small.
+const maxSpecBytes = 1 << 20
+
+// initMux installs the HTTP API.
+func (s *Server) initMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux = mux
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handleSubmit admits one job: parse and validate the spec, content-hash
+// it, and either serve it from cache, coalesce it onto an identical
+// in-flight run, or admit it to the queue (subject to tenant fairness and
+// queue-depth limits).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		s.rejected["invalid"].Inc()
+		writeErr(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		s.rejected["invalid"].Inc()
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.Experiment != "" {
+		if _, ok := s.cfg.Registry.Get(spec.Experiment); !ok {
+			s.rejected["invalid"].Inc()
+			writeErr(w, http.StatusBadRequest, "unknown experiment %q (GET /v1/experiments lists them)", spec.Experiment)
+			return
+		}
+	}
+	if spec.FaultPlan != nil && s.cfg.FaultPlanRun == nil {
+		s.rejected["invalid"].Inc()
+		writeErr(w, http.StatusBadRequest, "this server does not accept fault-plan jobs")
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	key := spec.Hash()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected["draining"].Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !spec.NoCache {
+		// Coalesce before consulting storage: a key cannot be both
+		// in-flight and stored, and checking the leader first keeps the
+		// cache's hit/miss counters equal to "served from storage" /
+		// "simulated fresh".
+		if leader := s.leaders[key]; leader != nil {
+			job := s.newJobLocked(tenant, spec, key)
+			job.coalesced = true
+			s.followers[key] = append(s.followers[key], job)
+			s.mu.Unlock()
+			s.submitted.Inc()
+			s.coalesced.Inc()
+			writeJSON(w, http.StatusAccepted, job.Status())
+			return
+		}
+		if e, ok := s.cache.Get(key); ok {
+			job := s.newJobLocked(tenant, spec, key)
+			job.cacheHit = true
+			s.mu.Unlock()
+			s.submitted.Inc()
+			job.finish(e.State, e.Manifest, "", e.Attempts)
+			s.completed[e.State].Add(1)
+			writeJSON(w, http.StatusOK, job.Status())
+			return
+		}
+	}
+	// A fresh simulation is needed: admission control applies.
+	if s.cfg.TenantMaxInFlight > 0 && s.tenantInFlight[tenant] >= s.cfg.TenantMaxInFlight {
+		s.mu.Unlock()
+		s.rejected["tenant_limit"].Inc()
+		writeErr(w, http.StatusTooManyRequests, "tenant %q already has %d jobs in flight (limit %d)",
+			tenant, s.cfg.TenantMaxInFlight, s.cfg.TenantMaxInFlight)
+		return
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		s.rejected["queue_full"].Inc()
+		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d deep); retry with backoff", cap(s.queue))
+		return
+	}
+	job := s.newJobLocked(tenant, spec, key)
+	if !spec.NoCache {
+		s.leaders[key] = job
+	}
+	s.tenantInFlight[tenant]++
+	s.queue <- job // cannot block: depth checked under s.mu, only workers drain
+	s.mu.Unlock()
+	s.submitted.Inc()
+	if !spec.NoCache {
+		s.misses.Inc()
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held.
+func (s *Server) newJobLocked(tenant string, spec *Spec, key string) *Job {
+	s.seq++
+	id := fmt.Sprintf("j-%06d", s.seq)
+	job := newJob(id, tenant, spec, key)
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleStatus serves one job's status; with ?watch=1 it streams every
+// transition as newline-delimited JSON until the job is terminal.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.jobByID(r.PathValue("id"))
+	if job == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	ch := job.subscribe()
+	defer job.unsubscribe(ch)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case st := <-ch:
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if st.State.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleManifest serves the job's stored run manifest verbatim.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	job := s.jobByID(r.PathValue("id"))
+	if job == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	m := job.Manifest()
+	if m == nil {
+		writeErr(w, http.StatusNotFound, "job %s has no manifest (state %s)", job.id, job.Status().State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(m)
+}
+
+// handleList serves every job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the service counters in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.WritePromText(w)
+}
+
+// handleHealthz serves liveness plus the drain flag, so load balancers
+// can stop routing before shutdown completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+		Jobs     int    `json:"jobs"`
+	}{Status: "ok", Draining: s.draining, Jobs: len(s.jobs)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleExperiments lists the runnable experiment IDs.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expEntry struct {
+		ID   string `json:"id"`
+		Desc string `json:"desc"`
+	}
+	out := struct {
+		Experiments []expEntry `json:"experiments"`
+	}{Experiments: []expEntry{}}
+	for _, e := range s.cfg.Registry.Experiments() {
+		out.Experiments = append(out.Experiments, expEntry{ID: e.ID, Desc: e.Desc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides service-level counters: wall-clock operational
+// metrics for long-running processes (the apusimd daemon), as opposed to
+// the simulated-time probes the Recorder samples. A Set holds named
+// counter and gauge variables, grouped into Prometheus metric families,
+// and renders them in the same text exposition format the run-level sink
+// uses — so a daemon's /metrics endpoint and a run's -prom file land in
+// the same dashboards.
+
+// Label is one constant key=value pair attached to a metric variable.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Var is one metric variable: a monotonic counter or a settable gauge.
+// All methods are safe for concurrent use.
+type Var struct {
+	counter bool
+	labels  string // rendered "{k="v",...}" suffix, possibly empty
+	bits    atomic.Uint64
+	// fn, when non-nil, supplies the value at scrape time instead of the
+	// stored one — for mirroring state owned elsewhere (queue depths,
+	// cache occupancy) without a write on every mutation.
+	fn func() float64
+}
+
+// Add increments the variable by d. Counters reject negative deltas with
+// a panic — a shrinking counter is a programming bug, and hiding it would
+// corrupt every rate() computed downstream.
+func (v *Var) Add(d float64) {
+	if v.fn != nil {
+		panic("telemetry: Add on a Func metric")
+	}
+	if v.counter && d < 0 {
+		panic(fmt.Sprintf("telemetry: counter decremented by %g", d))
+	}
+	for {
+		old := v.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc increments the variable by one.
+func (v *Var) Inc() { v.Add(1) }
+
+// Set stores an absolute value. Only gauges may be set; counters are
+// monotonic by contract.
+func (v *Var) Set(x float64) {
+	if v.fn != nil {
+		panic("telemetry: Set on a Func metric")
+	}
+	if v.counter {
+		panic("telemetry: Set on a counter (counters are monotonic; use Add)")
+	}
+	v.bits.Store(math.Float64bits(x))
+}
+
+// Value returns the current value.
+func (v *Var) Value() float64 {
+	if v.fn != nil {
+		return v.fn()
+	}
+	return math.Float64frombits(v.bits.Load())
+}
+
+// family is one Prometheus metric family: every Var sharing a name (and
+// therefore HELP/TYPE), distinguished by labels.
+type family struct {
+	name string
+	help string
+	typ  string
+	vars []*Var
+}
+
+// Set is an ordered collection of service-level metric variables. The
+// zero value is not usable; call NewSet. Registration order is
+// presentation order, so the rendered exposition text is deterministic.
+type Set struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{byName: make(map[string]*family)}
+}
+
+// Counter registers (or extends) a monotonic counter family and returns
+// the variable for the given label combination. Names are sanitized to
+// legal metric names; registering the same name with a different type
+// panics — a family's type is part of its contract.
+func (s *Set) Counter(name, help string, labels ...Label) *Var {
+	return s.register(name, help, "counter", nil, labels)
+}
+
+// Gauge registers (or extends) a gauge family and returns the variable
+// for the given label combination.
+func (s *Set) Gauge(name, help string, labels ...Label) *Var {
+	return s.register(name, help, "gauge", nil, labels)
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic state owned by another component (e.g. a cache's
+// internal hit count). fn must be safe for concurrent use.
+func (s *Set) CounterFunc(name, help string, fn func() float64, labels ...Label) *Var {
+	return s.register(name, help, "counter", fn, labels)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (s *Set) GaugeFunc(name, help string, fn func() float64, labels ...Label) *Var {
+	return s.register(name, help, "gauge", fn, labels)
+}
+
+func (s *Set) register(name, help, typ string, fn func() float64, labels []Label) *Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clean := promSanitize(name)
+	f := s.byName[clean]
+	if f == nil {
+		f = &family{name: clean, help: help, typ: typ}
+		s.byName[clean] = f
+		s.families = append(s.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %s registered as both %s and %s", clean, f.typ, typ))
+	}
+	v := &Var{counter: typ == "counter", labels: renderLabels(labels), fn: fn}
+	f.vars = append(f.vars, v)
+	return v
+}
+
+// renderLabels formats constant labels as an exposition-format suffix,
+// sorted by key so equivalent label sets render identically.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, l := range sorted {
+		parts[i] = fmt.Sprintf("%s=\"%s\"", promSanitize(l.Key), promEscape(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePromText renders every registered family in Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE once per family, then
+// one sample line per variable, all in registration order.
+func (s *Set) WritePromText(w io.Writer) error {
+	s.mu.Lock()
+	// Snapshot the structure so value reads (which may call user fns)
+	// happen outside the set lock.
+	fams := make([]*family, len(s.families))
+	copy(fams, s.families)
+	s.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, v := range f.vars {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, v.labels, promFloat(v.Value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

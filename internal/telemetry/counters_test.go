@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSetCountersAndGauges(t *testing.T) {
+	s := NewSet()
+	jobs := s.Counter("apusimd_jobs_total", "Jobs by status.", Label{"status", "ok"})
+	bad := s.Counter("apusimd_jobs_total", "Jobs by status.", Label{"status", "failed"})
+	depth := s.Gauge("apusimd_queue_depth", "Queued jobs.")
+	jobs.Add(3)
+	jobs.Inc()
+	bad.Inc()
+	depth.Set(7)
+	depth.Add(-2)
+
+	if jobs.Value() != 4 || bad.Value() != 1 || depth.Value() != 5 {
+		t.Fatalf("values = %g/%g/%g, want 4/1/5", jobs.Value(), bad.Value(), depth.Value())
+	}
+
+	var b strings.Builder
+	if err := s.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# HELP apusimd_jobs_total Jobs by status.\n" +
+		"# TYPE apusimd_jobs_total counter\n" +
+		"apusimd_jobs_total{status=\"ok\"} 4\n" +
+		"apusimd_jobs_total{status=\"failed\"} 1\n" +
+		"# HELP apusimd_queue_depth Queued jobs.\n" +
+		"# TYPE apusimd_queue_depth gauge\n" +
+		"apusimd_queue_depth 5\n"
+	if got != want {
+		t.Fatalf("exposition text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSetFuncMetricsReadAtScrape(t *testing.T) {
+	s := NewSet()
+	var mu sync.Mutex
+	hits := 0
+	s.CounterFunc("cache_hits_total", "Hits.", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return float64(hits)
+	})
+	render := func() string {
+		var b strings.Builder
+		if err := s.WritePromText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if !strings.Contains(render(), "cache_hits_total 0\n") {
+		t.Fatalf("initial scrape: %s", render())
+	}
+	mu.Lock()
+	hits = 42
+	mu.Unlock()
+	if !strings.Contains(render(), "cache_hits_total 42\n") {
+		t.Fatalf("post-update scrape: %s", render())
+	}
+}
+
+func TestSetRejectsMisuse(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("c_total", "counter")
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("counter Set", func() { c.Set(5) })
+	mustPanic("counter negative Add", func() { c.Add(-1) })
+	mustPanic("type mismatch", func() { s.Gauge("c_total", "now a gauge") })
+	f := s.GaugeFunc("f", "func gauge", func() float64 { return 1 })
+	mustPanic("func Add", func() { f.Add(1) })
+	mustPanic("func Set", func() { f.Set(1) })
+}
+
+func TestSetSanitizesNamesAndLabels(t *testing.T) {
+	s := NewSet()
+	s.Counter("bad-name.total", "weird chars", Label{"the-key", `va"lue`})
+	var b strings.Builder
+	if err := s.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "bad_name_total{the_key=\"va\\\"lue\"} 0\n") {
+		t.Fatalf("sanitized output:\n%s", got)
+	}
+}
+
+func TestSetLabelOrderCanonical(t *testing.T) {
+	s := NewSet()
+	a := s.Gauge("g", "h", Label{"b", "2"}, Label{"a", "1"})
+	bvar := s.Gauge("g", "h", Label{"a", "1"}, Label{"b", "2"})
+	a.Set(1)
+	// Both registrations carry the same canonical label suffix; they are
+	// distinct vars (extending a family never merges), but render with
+	// identical label text.
+	var sb strings.Builder
+	if err := s.WritePromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), `g{a="1",b="2"}`) != 2 {
+		t.Fatalf("canonical label rendering:\n%s", sb.String())
+	}
+	_ = bvar
+}
+
+func TestVarConcurrentAdds(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("n_total", "concurrency smoke")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("concurrent adds lost updates: %g", c.Value())
+	}
+}

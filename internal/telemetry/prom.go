@@ -17,10 +17,14 @@ import (
 // promNamePrefix namespaces every exported metric.
 const promNamePrefix = "apusim_"
 
-// promName sanitizes a probe name into a legal Prometheus metric name:
-// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit
-// gets a '_' prefix.
-func promName(name string) string {
+// promName sanitizes a probe name into a legal Prometheus metric name
+// under the apusim_ namespace.
+func promName(name string) string { return promNamePrefix + promSanitize(name) }
+
+// promSanitize makes a string a legal Prometheus metric name: every
+// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+// '_' prefix.
+func promSanitize(name string) string {
 	var b strings.Builder
 	for i := 0; i < len(name); i++ {
 		c := name[i]
@@ -36,7 +40,7 @@ func promName(name string) string {
 			b.WriteByte('_')
 		}
 	}
-	return promNamePrefix + b.String()
+	return b.String()
 }
 
 // promEscape escapes a label value per the exposition format.
