@@ -20,6 +20,14 @@
 // admitted jobs finish, and a second signal (or the -drain-grace
 // deadline) forces cancellation.
 //
+// With -data-dir the daemon is crash-safe: results persist in a
+// content-addressed store under the directory, every admission is
+// journaled before the client sees 202, and a restart replays the
+// journal — jobs queued at the crash re-run automatically, jobs that
+// were mid-simulation park as "interrupted" and re-run on their next
+// status fetch, and finished results come back byte-identical from the
+// store. Corrupt or truncated store files are quarantined, never served.
+//
 // Usage:
 //
 //	apusimd                        # listen on :8080
@@ -27,6 +35,7 @@
 //	apusimd -workers 4 -queue 128  # pool and backlog sizing
 //	apusimd -tenant-max 8          # per-tenant in-flight cap (X-Tenant)
 //	apusimd -cache-bytes 16777216  # result cache LRU budget
+//	apusimd -data-dir /var/lib/apusimd  # survive crashes and restarts
 package main
 
 import (
@@ -53,6 +62,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache LRU byte budget")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock deadline")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain may take before jobs are cancelled")
+	dataDir := flag.String("data-dir", "", "directory for the durable result store and job journal (empty = memory-only)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base delay between job retry attempts (0 = 100ms default)")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -63,10 +74,23 @@ func main() {
 		TenantMaxInFlight: *tenantMax,
 		CacheBytes:        *cacheBytes,
 		JobTimeout:        *jobTimeout,
+		DataDir:           *dataDir,
+		RetryBackoff:      *retryBackoff,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
 		os.Exit(2)
+	}
+	if *dataDir != "" {
+		v := srv.Metrics().Values()
+		fmt.Fprintf(os.Stderr,
+			"apusimd: recovery: requeued=%.0f interrupted=%.0f from_cache=%.0f completed=%.0f failed=%.0f quarantined=%.0f\n",
+			v[`apusimd_recovered_jobs_total{outcome="requeued"}`],
+			v[`apusimd_recovered_jobs_total{outcome="interrupted"}`],
+			v[`apusimd_recovered_jobs_total{outcome="from_cache"}`],
+			v[`apusimd_recovered_jobs_total{outcome="completed"}`],
+			v[`apusimd_recovered_jobs_total{outcome="failed"}`],
+			v["apusimd_cache_quarantined_total"])
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -1,0 +1,24 @@
+// Package durable is the crash-safety layer under the simulation
+// service: a disk-backed content-addressed manifest store and an
+// append-only job journal, both built so that a SIGKILL at any byte
+// boundary loses no acknowledged work and never serves corrupt data.
+//
+// The store holds one file per SHA-256 spec hash. Every entry is written
+// atomically (tmp file, fsync, rename) and carries a checksum footer over
+// its entire contents; an entry that fails verification — truncated,
+// bit-flipped, or otherwise damaged — is quarantined (moved aside, never
+// served, counted) instead of returned. Because entries are keyed by the
+// content address of the normalized spec and the simulator is
+// deterministic, a re-run after a corruption event reproduces the exact
+// bytes the quarantined file should have held.
+//
+// The journal records job lifecycle transitions (submit, start, terminal)
+// as newline-framed, CRC-guarded apusim-journal/v1 records with batched
+// fsync (group commit: concurrent appenders share one disk sync). On boot
+// the journal is replayed: jobs that were queued at the crash are
+// re-enqueued, jobs that were running are parked as interrupted (a spec
+// that crashed the daemon must not crash-loop it at boot), and jobs whose
+// content address already has a stored manifest complete immediately —
+// the content address, not the journal, is what makes cache admission
+// exactly-once.
+package durable

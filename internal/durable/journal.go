@@ -1,0 +1,317 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JournalSchema identifies the journal record layout; bump on
+// incompatible changes.
+const JournalSchema = "apusim-journal/v1"
+
+// Op is a journal record's operation.
+type Op string
+
+// Journal operations: a job is submitted (admitted, durable before the
+// client sees 202), started (a worker picked it up), and done (reached a
+// terminal state).
+const (
+	OpSubmit Op = "submit"
+	OpStart  Op = "start"
+	OpDone   Op = "done"
+)
+
+// Record is one journal entry. Submit records carry the job's identity
+// and normalized spec; start and done records reference the job by ID.
+type Record struct {
+	Schema string `json:"schema"`
+	Op     Op     `json:"op"`
+	Job    string `json:"job"`
+	// Seq is the job's sequence number (submit only), so ID allocation
+	// resumes past every journaled job after a crash.
+	Seq int `json:"seq,omitempty"`
+	// Tenant, Key, Coalesced, and Spec describe a submission: the billing
+	// tenant, the spec's content address, whether the job coalesced onto
+	// an in-flight duplicate, and the canonical spec JSON.
+	Tenant    string          `json:"tenant,omitempty"`
+	Key       string          `json:"key,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	// State and Attempts describe a terminal outcome (done only).
+	State    string `json:"state,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// ReplayStats describes what a replay found.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Corrupt is the number of complete lines that failed CRC or JSON
+	// validation and were skipped.
+	Corrupt int
+	// TruncatedTail reports whether the journal ended mid-record (the
+	// crash landed inside an append); the partial tail is discarded.
+	TruncatedTail bool
+	// ValidBytes is the length of the journal prefix ending at the last
+	// complete line; a writer reopening the journal truncates to it.
+	ValidBytes int64
+}
+
+// frameRecord renders one record in the on-disk framing:
+// "crc32:<8 hex of the JSON> <JSON>\n". The CRC guards the record body,
+// so a bit flip inside a line is detected and skipped without losing the
+// records after it (the newline framing still holds).
+func frameRecord(rec Record) ([]byte, error) {
+	rec.Schema = JournalSchema
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("durable: marshaling journal record: %w", err)
+	}
+	return []byte(fmt.Sprintf("crc32:%08x %s\n", crc32.ChecksumIEEE(body), body)), nil
+}
+
+// parseLine validates one complete journal line. It returns ok false for
+// any damage: bad framing, CRC mismatch, malformed JSON, or a schema the
+// reader does not know.
+func parseLine(line []byte) (Record, bool) {
+	const prefixLen = len("crc32:") + 8 // + " "
+	if len(line) < prefixLen+1 || string(line[:6]) != "crc32:" || line[prefixLen] != ' ' {
+		return Record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[6:prefixLen]), "%08x", &want); err != nil {
+		return Record{}, false
+	}
+	body := line[prefixLen+1:]
+	if crc32.ChecksumIEEE(body) != want {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, false
+	}
+	if rec.Schema != JournalSchema || rec.Job == "" {
+		return Record{}, false
+	}
+	switch rec.Op {
+	case OpSubmit, OpStart, OpDone:
+	default:
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Replay reads a journal stream and returns every intact record in file
+// order. It never fails on damaged input: corrupt lines are skipped and
+// counted, and a truncated tail (a crash mid-append) is discarded. The
+// returned stats say exactly what was tolerated.
+func Replay(r io.Reader) ([]Record, ReplayStats) {
+	var (
+		recs  []Record
+		stats ReplayStats
+	)
+	br := bufio.NewReader(r)
+	var offset int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// Any bytes before EOF without a newline are a torn append.
+			if len(line) > 0 {
+				stats.TruncatedTail = true
+			}
+			break
+		}
+		offset += int64(len(line))
+		line = bytes.TrimSuffix(line, []byte("\n"))
+		rec, ok := parseLine(line)
+		if !ok {
+			stats.Corrupt++
+			stats.ValidBytes = offset
+			continue
+		}
+		recs = append(recs, rec)
+		stats.Records++
+		stats.ValidBytes = offset
+	}
+	return recs, stats
+}
+
+// Journal is an append-only job journal with batched fsync. Append is a
+// buffered write; Sync is a group commit — concurrent callers waiting on
+// durability share one disk sync instead of serializing fsyncs. All
+// methods are safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex // guards the file, buffer, and write generation
+	f        *os.File
+	w        *bufio.Writer
+	writeGen int64
+	appends  int64
+
+	syncMu    sync.Mutex // serializes fsyncs; batches waiters behind one
+	syncedGen int64
+	syncs     int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// its intact records, truncates any torn tail so new appends start at a
+// clean boundary, and returns the journal positioned for appending.
+func OpenJournal(path string) (*Journal, []Record, ReplayStats, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, ReplayStats{}, fmt.Errorf("durable: opening journal: %w", err)
+	}
+	recs, stats := Replay(f)
+	if err := f.Truncate(stats.ValidBytes); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("durable: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(stats.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("durable: seeking journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, recs, stats, nil
+}
+
+// Append buffers one record. It does not reach disk until Sync (or an
+// incidental buffer flush); callers that need the record durable before
+// acting on it call Sync afterwards.
+func (j *Journal) Append(rec Record) error {
+	framed, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("durable: append on closed journal")
+	}
+	if _, err := j.w.Write(framed); err != nil {
+		return fmt.Errorf("durable: appending journal record: %w", err)
+	}
+	j.writeGen++
+	j.appends++
+	return nil
+}
+
+// Sync makes every record appended so far durable. Concurrent syncs
+// batch: while one fsync runs, later callers queue behind it, and the
+// first one through covers everything written in the meantime — so a
+// burst of submissions costs one disk sync, not one each.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	gen := j.writeGen
+	j.mu.Unlock()
+
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	if j.syncedGen >= gen {
+		return nil // a batched sync already covered this record
+	}
+	j.mu.Lock()
+	cur := j.writeGen
+	err := j.w.Flush()
+	f := j.f
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("durable: flushing journal: %w", err)
+	}
+	if f == nil {
+		return fmt.Errorf("durable: sync on closed journal")
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing journal: %w", err)
+	}
+	j.syncedGen = cur
+	j.syncs++
+	return nil
+}
+
+// AppendSync appends one record and returns once it is durable.
+func (j *Journal) AppendSync(rec Record) error {
+	if err := j.Append(rec); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// JournalStats is a snapshot of the journal's write counters.
+type JournalStats struct {
+	// Appends is the number of records appended; Syncs is the number of
+	// disk syncs performed. Syncs < Appends under load is the batching
+	// working.
+	Appends int64
+	Syncs   int64
+}
+
+// Stats returns a snapshot of the journal counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	appends := j.appends
+	j.mu.Unlock()
+	j.syncMu.Lock()
+	syncs := j.syncs
+	j.syncMu.Unlock()
+	return JournalStats{Appends: appends, Syncs: syncs}
+}
+
+// Close flushes, syncs, and closes the journal.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.mu.Lock()
+		if j.f != nil {
+			j.f.Close()
+			j.f = nil
+		}
+		j.mu.Unlock()
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Compact atomically replaces the journal at path with just the given
+// records — the live set after a recovery replay — so boot-time replay
+// cost tracks the number of in-flight jobs, not daemon lifetime. It
+// returns the reopened journal positioned for appending.
+func Compact(path string, recs []Record) (*Journal, error) {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		framed, err := frameRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(framed)
+	}
+	tmp := path + ".tmp"
+	if err := writeAtomic(tmp, path, buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("durable: compacting journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: reopening compacted journal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: seeking compacted journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// journalName is the journal's file name under a service data dir.
+const journalName = "journal"
+
+// JournalPath returns the canonical journal location under a data dir.
+func JournalPath(dataDir string) string { return filepath.Join(dataDir, journalName) }

@@ -1,0 +1,265 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func submitRec(i int) Record {
+	return Record{
+		Op:     OpSubmit,
+		Job:    fmt.Sprintf("j-%06d", i),
+		Seq:    i,
+		Tenant: "default",
+		Key:    testKey(fmt.Sprintf("spec-%d", i)),
+		Spec:   json.RawMessage(fmt.Sprintf(`{"experiment":"exp-%d"}`, i)),
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, recs, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(recs) != 0 || stats.Records != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		submitRec(1),
+		{Op: OpStart, Job: "j-000001"},
+		{Op: OpDone, Job: "j-000001", State: "ok", Attempts: 1},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, got, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if stats.Corrupt != 0 || stats.TruncatedTail {
+		t.Errorf("clean journal replayed with damage: %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Schema = JournalSchema
+		g := got[i]
+		if g.Op != w.Op || g.Job != w.Job || g.State != w.State || g.Seq != w.Seq ||
+			g.Key != w.Key || !bytes.Equal(g.Spec, w.Spec) {
+			t.Errorf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestJournalTruncatedTailDiscardedAndHealed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.AppendSync(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: chop the file inside the last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if len(recs) != 2 || !stats.TruncatedTail {
+		t.Fatalf("replayed %d records (stats %+v), want 2 with a truncated tail", len(recs), stats)
+	}
+	// The torn bytes must be gone: appending after reopen yields a clean
+	// journal with 3 intact records.
+	if err := j2.AppendSync(submitRec(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || stats.Corrupt != 0 || stats.TruncatedTail {
+		t.Errorf("healed journal: %d records, stats %+v; want 3 clean", len(recs), stats)
+	}
+	if recs[2].Seq != 99 {
+		t.Errorf("post-heal append lost: %+v", recs[2])
+	}
+}
+
+func TestJournalSkipsBitFlippedRecordAndKeepsRest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the middle record's JSON body (well past the
+	// first line, well before the last).
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines", len(lines))
+	}
+	mid := len(lines[0]) + len(lines[1])/2
+	data[mid] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrupt != 1 || len(recs) != 2 {
+		t.Fatalf("replayed %d records with %d corrupt, want 2 and 1", len(recs), stats.Corrupt)
+	}
+	if recs[0].Seq != 0 || recs[1].Seq != 2 {
+		t.Errorf("surviving records %v, want seq 0 and 2", []int{recs[0].Seq, recs[1].Seq})
+	}
+}
+
+func TestJournalGroupCommitBatchesSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	const writers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.AppendSync(submitRec(i)); err != nil {
+				t.Errorf("AppendSync: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.Appends != writers {
+		t.Errorf("appends = %d, want %d", st.Appends, writers)
+	}
+	if st.Syncs > st.Appends {
+		t.Errorf("syncs (%d) exceed appends (%d): batching never engaged", st.Syncs, st.Appends)
+	}
+	// Everything must be durable and intact.
+	_, recs, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers || stats.Corrupt != 0 {
+		t.Errorf("replayed %d records (%d corrupt), want %d clean", len(recs), stats.Corrupt, writers)
+	}
+}
+
+func TestJournalCompactDropsDeadRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpDone, Job: fmt.Sprintf("j-%06d", i), State: "ok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep only one live job; everything else is terminal history.
+	live := []Record{submitRec(42)}
+	j2, err := Compact(path, live)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j2.AppendSync(Record{Op: OpStart, Job: "j-000042"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 42 || recs[1].Op != OpStart {
+		t.Errorf("compacted journal replayed %+v, want the live submit plus the post-compact start", recs)
+	}
+}
+
+// TestJournalReplay10kUnder1s pins the acceptance bound: a cold-start
+// replay of a 10 000-record journal must complete in under a second.
+func TestJournalReplay10kUnder1s(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if err := j.Append(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, recs, stats, err := OpenJournal(path)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n || stats.Corrupt != 0 {
+		t.Fatalf("replayed %d records (%d corrupt), want %d clean", len(recs), stats.Corrupt, n)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("10k-record replay took %v, want < 1s", elapsed)
+	}
+}

@@ -1,0 +1,67 @@
+package durable
+
+import "encoding/json"
+
+// JobRecovery is one job's reconstructed lifecycle after a journal
+// replay: identity, what was known about it when the process died, and
+// whether it had already finished.
+type JobRecovery struct {
+	Seq       int
+	Job       string
+	Tenant    string
+	Key       string
+	Coalesced bool
+	Spec      json.RawMessage
+	// Started reports that a worker had picked the job up (a start
+	// record exists). A job that died started is treated more carefully
+	// than one that died queued — it may be the spec that killed the
+	// process.
+	Started bool
+	// Terminal is the recorded terminal state, or "" for a job that was
+	// still pending at the crash.
+	Terminal string
+	Attempts int
+}
+
+// BuildRecovery folds replayed records into per-job recovery entries, in
+// submission order. It is deliberately forgiving — the journal may have
+// lost or skipped records — and admission-safe: duplicate submit records
+// for one job ID collapse to the first (a job can never be admitted
+// twice), start/done records for unknown jobs are dropped, and a done
+// record is final (later records cannot resurrect a finished job).
+func BuildRecovery(recs []Record) []JobRecovery {
+	byJob := make(map[string]*JobRecovery)
+	var order []*JobRecovery
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpSubmit:
+			if _, dup := byJob[rec.Job]; dup {
+				continue
+			}
+			jr := &JobRecovery{
+				Seq:       rec.Seq,
+				Job:       rec.Job,
+				Tenant:    rec.Tenant,
+				Key:       rec.Key,
+				Coalesced: rec.Coalesced,
+				Spec:      rec.Spec,
+			}
+			byJob[rec.Job] = jr
+			order = append(order, jr)
+		case OpStart:
+			if jr := byJob[rec.Job]; jr != nil && jr.Terminal == "" {
+				jr.Started = true
+			}
+		case OpDone:
+			if jr := byJob[rec.Job]; jr != nil && jr.Terminal == "" {
+				jr.Terminal = rec.State
+				jr.Attempts = rec.Attempts
+			}
+		}
+	}
+	out := make([]JobRecovery, len(order))
+	for i, jr := range order {
+		out[i] = *jr
+	}
+	return out
+}

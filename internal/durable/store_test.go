@@ -1,0 +1,240 @@
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	e := Entry{State: "ok", Attempts: 2, Manifest: []byte(`{"schema":"apusim-run-manifest/v1"}`)}
+	key := testKey("spec-a")
+	if err := s.Put(key, e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get: entry missing after Put")
+	}
+	if got.State != e.State || got.Attempts != e.Attempts || !bytes.Equal(got.Manifest, e.Manifest) {
+		t.Errorf("Get = %+v, want %+v", got, e)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Quarantined != 0 {
+		t.Errorf("stats %+v, want 1 entry, 0 quarantined", st)
+	}
+	// Replacing a key must not double-count occupancy.
+	if err := s.Put(key, e); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Errorf("after re-Put: %d entries, want 1", st.Entries)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("spec-b")
+	want := Entry{State: "degraded", Attempts: 1, Manifest: []byte("manifest bytes")}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got.Manifest, want.Manifest) || got.State != want.State {
+		t.Errorf("after reopen: %+v ok=%v, want %+v", got, ok, want)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Errorf("reopened stats %+v, want 1 entry", st)
+	}
+}
+
+// corruptEntries writes a valid entry and then damages it in the given
+// way, returning the entry file's path.
+func writeEntryFile(t *testing.T, dir, key string) string {
+	t.Helper()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, Entry{State: "ok", Attempts: 1, Manifest: []byte("payload payload payload")}); err != nil {
+		t.Fatal(err)
+	}
+	name, err := entryName(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "cache", name)
+}
+
+func TestStoreQuarantinesCorruptionAtOpen(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"bit-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncate", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := testKey("victim-" + tc.name)
+			path := writeEntryFile(t, dir, key)
+			tc.corrupt(t, path)
+
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Fatalf("OpenStore over corrupt entry: %v", err)
+			}
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry was served")
+			}
+			st := s.Stats()
+			if st.Quarantined != 1 || st.Entries != 0 {
+				t.Errorf("stats %+v, want 1 quarantined, 0 entries", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry still present in cache dir: %v", err)
+			}
+			qs, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(qs) != 1 {
+				t.Errorf("quarantine dir holds %d files (%v), want 1", len(qs), err)
+			}
+			// A fresh Put under the same key must heal the slot.
+			if err := s.Put(key, Entry{State: "ok", Attempts: 1, Manifest: []byte("regenerated")}); err != nil {
+				t.Fatalf("healing Put: %v", err)
+			}
+			if got, ok := s.Get(key); !ok || string(got.Manifest) != "regenerated" {
+				t.Errorf("healed entry = %+v ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+func TestStoreQuarantinesCorruptionAtRead(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("late-victim")
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, Entry{State: "ok", Attempts: 1, Manifest: []byte("live payload")}); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the file after the open-time sweep: the per-read verify must
+	// still catch it.
+	name, _ := entryName(key)
+	path := filepath.Join(dir, "cache", name)
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("post-open corruption was served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats %+v, want 1 quarantined, 0 entries", st)
+	}
+}
+
+func TestStoreRemovesTornTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "tmp", "deadbeef.entry.tmp")
+	if err := os.WriteFile(torn, []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("torn tmp file survived reopen: %v", err)
+	}
+}
+
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "sha256:", "sha256:short", "md5:" + fmt.Sprintf("%064x", 1),
+		"sha256:../../../../etc/passwd0000000000000000000000000000000000000000",
+		"sha256:" + string(bytes.Repeat([]byte("g"), 64)),
+	} {
+		if err := s.Put(key, Entry{State: "ok"}); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) served a malformed key", key)
+		}
+	}
+}
+
+func TestEncodeDecodeEntryExhaustiveTruncation(t *testing.T) {
+	e := Entry{State: "ok", Attempts: 3, Manifest: []byte("0123456789")}
+	data := EncodeEntry(e)
+	if got, err := DecodeEntry(data); err != nil || got.State != "ok" || got.Attempts != 3 {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+	// Every proper prefix must be rejected — no truncation point decodes.
+	for i := 0; i < len(data); i++ {
+		if _, err := DecodeEntry(data[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", i)
+		}
+	}
+	// Every single-bit flip must be rejected.
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 1
+		if _, err := DecodeEntry(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		}
+	}
+}

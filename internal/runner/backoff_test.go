@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// failingRegistry returns a registry with one experiment that fails its
+// first failures attempts and then succeeds.
+func failingRegistry(id string, failures int) *Registry {
+	reg := NewRegistry()
+	attempts := 0
+	reg.MustRegister(Experiment{
+		ID:   id,
+		Desc: "fails then recovers",
+		Run: func(ctx *Ctx) (string, error) {
+			attempts++
+			if attempts <= failures {
+				return "", fmt.Errorf("transient failure %d", attempts)
+			}
+			return "recovered", nil
+		},
+	})
+	return reg
+}
+
+func TestRetryBackoffDelaysAreDeterministicAndExponential(t *testing.T) {
+	const base = time.Millisecond
+	run := func() []time.Duration {
+		reg := failingRegistry("flaky", 3)
+		suite, err := reg.RunSuite(Options{
+			Parallel: 1, Retries: 3,
+			RetryBackoff: base,
+		})
+		if err != nil {
+			t.Fatalf("RunSuite: %v", err)
+		}
+		res := suite.Results[0]
+		if res.Status != StatusOK || res.Attempts != 4 {
+			t.Fatalf("result %s after %d attempts, want ok after 4", res.Status, res.Attempts)
+		}
+		return res.RetryDelays
+	}
+	first := run()
+	if len(first) != 3 {
+		t.Fatalf("recorded %d delays, want 3", len(first))
+	}
+	for i, d := range first {
+		// Attempt i+2's delay is base·2^i scaled by jitter in [0.5, 1.5).
+		lo := time.Duration(float64(base) * float64(int(1)<<i) * 0.5)
+		hi := time.Duration(float64(base) * float64(int(1)<<i) * 1.5)
+		if d < lo || d >= hi {
+			t.Errorf("delay %d = %v outside jittered window [%v, %v)", i, d, lo, hi)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("delay %d differs across runs: %v vs %v (jitter must be seeded)", i, first[i], second[i])
+		}
+	}
+}
+
+func TestRetryBackoffMaxCapsDelays(t *testing.T) {
+	reg := failingRegistry("capped", 4)
+	const cap = 2 * time.Millisecond
+	suite, err := reg.RunSuite(Options{
+		Parallel: 1, Retries: 4,
+		RetryBackoff: time.Millisecond, RetryBackoffMax: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suite.Results[0]
+	if len(res.RetryDelays) != 4 {
+		t.Fatalf("recorded %d delays, want 4", len(res.RetryDelays))
+	}
+	for i, d := range res.RetryDelays {
+		if d > cap {
+			t.Errorf("delay %d = %v exceeds cap %v", i, d, cap)
+		}
+	}
+}
+
+func TestRetryWithoutBackoffRecordsNoDelays(t *testing.T) {
+	reg := failingRegistry("immediate", 2)
+	suite, err := reg.RunSuite(Options{Parallel: 1, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suite.Results[0]
+	if res.Status != StatusOK || res.Attempts != 3 {
+		t.Fatalf("result %s after %d attempts, want ok after 3", res.Status, res.Attempts)
+	}
+	if len(res.RetryDelays) != 0 {
+		t.Errorf("immediate retries recorded delays %v", res.RetryDelays)
+	}
+}
+
+func TestManifestRecordsRetryDelays(t *testing.T) {
+	reg := failingRegistry("journaled", 2)
+	suite, err := reg.RunSuite(Options{
+		Parallel: 1, Retries: 2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := BuildManifest(suite).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Experiments []struct {
+			Attempts      int       `json:"attempts"`
+			RetryDelaysMS []float64 `json:"retry_delays_ms"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	rec := m.Experiments[0]
+	if rec.Attempts != 3 || len(rec.RetryDelaysMS) != 2 {
+		t.Fatalf("manifest record %+v, want 3 attempts with 2 delays", rec)
+	}
+	for i, ms := range rec.RetryDelaysMS {
+		if ms <= 0 {
+			t.Errorf("manifest delay %d = %g ms, want > 0", i, ms)
+		}
+	}
+}
+
+func TestNegativeBackoffIsAnOptionsError(t *testing.T) {
+	for _, opts := range []Options{
+		{Parallel: 1, RetryBackoff: -time.Second},
+		{Parallel: 1, RetryBackoffMax: -time.Second},
+	} {
+		err := opts.Validate()
+		if _, ok := err.(*OptionsError); !ok {
+			t.Errorf("Validate(%+v) = %v, want *OptionsError", opts, err)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package runner
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -63,6 +65,11 @@ type Result struct {
 	Milestones []string
 	// Attempts is how many times the experiment ran (1 + retries used).
 	Attempts int
+	// RetryDelays are the backoff delays inserted before attempts 2..N,
+	// in order. They are computed deterministically from the experiment
+	// ID (seeded exponential backoff with jitter), so a retried run's
+	// manifest is reproducible. Empty when no retry waited.
+	RetryDelays []time.Duration
 	// Faults are the injected-fault summaries recorded via Ctx.RecordFault.
 	Faults []string
 	// Telemetry is the compact sampled-series summary, set only when the
@@ -262,17 +269,59 @@ func cancelledResult(e Experiment, cause error) Result {
 // Every attempt runs on a completely fresh context and engine, so a
 // crashed attempt cannot poison its successor; the final attempt's result
 // is returned with Attempts counting how many ran. Cancellation ends the
-// retry loop immediately: a cancelled attempt is never retried.
+// retry loop immediately: a cancelled attempt is never retried. With
+// Options.RetryBackoff set, each retry waits out a deterministic
+// exponentially-growing jittered delay first (interruptible by
+// Options.Context), and the delays are recorded on the result.
 func runOne(e Experiment, opts Options) Result {
 	var res Result
-	for attempt := 1; attempt <= opts.Retries+1; attempt++ {
+	var delays []time.Duration
+	rng := sim.NewRNG(backoffSeed(e.ID))
+	for attempt := 1; ; attempt++ {
 		res = runAttempt(e, opts)
 		res.Attempts = attempt
-		if !res.Failed() || res.Status == StatusCancelled {
-			break
+		res.RetryDelays = delays
+		if !res.Failed() || res.Status == StatusCancelled || attempt > opts.Retries {
+			return res
+		}
+		if d := retryDelay(opts, attempt, rng); d > 0 {
+			delays = append(delays, d)
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-opts.ctx().Done():
+				// The next runAttempt observes the cancellation and
+				// returns a typed cancelled result immediately.
+				timer.Stop()
+			}
 		}
 	}
-	return res
+}
+
+// backoffSeed derives the deterministic jitter seed from the experiment
+// ID, the same way span recorders derive theirs — so recorded retry
+// delays are a pure function of (experiment, attempt).
+func backoffSeed(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// retryDelay computes the backoff before attempt+1: the base doubled per
+// completed attempt, scaled by a jitter factor in [0.5, 1.5) drawn from
+// the seeded stream, clamped to RetryBackoffMax when set. Desynchronizing
+// retries (jitter) matters when many runs fail together — a thundering
+// herd of identical retry schedules re-collides forever.
+func retryDelay(opts Options, attempt int, rng *sim.RNG) time.Duration {
+	if opts.RetryBackoff <= 0 {
+		return 0
+	}
+	d := float64(opts.RetryBackoff) * math.Pow(2, float64(attempt-1))
+	d *= 0.5 + rng.Float64()
+	if max := opts.RetryBackoffMax; max > 0 && d > float64(max) {
+		d = float64(max)
+	}
+	return time.Duration(d)
 }
 
 // runAttempt executes one attempt of an experiment with panic recovery and

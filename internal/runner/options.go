@@ -28,6 +28,15 @@ type Options struct {
 	// is reported, with Attempts recording how many ran. Negative counts
 	// are an error.
 	Retries int
+	// RetryBackoff is the base delay inserted before each retry. Delays
+	// grow exponentially (base, 2·base, 4·base, …) with deterministic
+	// jitter seeded from the experiment ID, so a retried run's recorded
+	// delays are reproducible. 0 retries immediately; negative is an
+	// error. RetryBackoffMax, when > 0, caps each delay. A transient
+	// failure (a poisoned shared resource, a racing tenant) gets room to
+	// clear instead of being hammered with immediate re-attempts.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// IDs restricts the run to a subset (still in registration order);
 	// nil runs everything.
 	IDs []string
@@ -104,6 +113,14 @@ func (o Options) Validate() error {
 	if o.Retries < 0 {
 		return &OptionsError{Field: "Retries", Value: o.Retries,
 			Reason: "retry budget must be >= 0"}
+	}
+	if o.RetryBackoff < 0 {
+		return &OptionsError{Field: "RetryBackoff", Value: o.RetryBackoff,
+			Reason: "retry backoff base must be >= 0 (0 retries immediately)"}
+	}
+	if o.RetryBackoffMax < 0 {
+		return &OptionsError{Field: "RetryBackoffMax", Value: o.RetryBackoffMax,
+			Reason: "retry backoff cap must be >= 0 (0 means uncapped)"}
 	}
 	if o.SampleEvery < 0 {
 		return &OptionsError{Field: "SampleEvery", Value: o.SampleEvery,

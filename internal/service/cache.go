@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/durable"
 )
 
 // Entry is one cached job result: the terminal state a run reached and
@@ -32,6 +34,9 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// DiskHits counts hits served from the attached durable store after a
+	// memory miss (a subset of Hits). Zero when no store is attached.
+	DiskHits int64
 }
 
 // Cache is a content-addressed result cache with an LRU byte budget:
@@ -45,7 +50,14 @@ type Cache struct {
 	ll     *list.List // front = most recently used; values are *cacheItem
 	byKey  map[string]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, diskHits int64
+
+	// store, when non-nil, is the durable second tier: Put writes through
+	// to it and Get falls through to it on a memory miss, promoting disk
+	// hits back into the LRU. Evictions only shrink the memory tier — the
+	// store keeps the bytes, so an evicted result costs one disk read, not
+	// a re-simulation.
+	store *durable.Store
 }
 
 // cacheItem is one resident entry with its key, for reverse lookup during
@@ -62,28 +74,87 @@ func NewCache(budget int64) *Cache {
 	return &Cache{budget: budget, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
+// AttachStore layers a durable store under the memory tier. Call before
+// the cache is shared across goroutines; attachment is not synchronized.
+func (c *Cache) AttachStore(s *durable.Store) { c.store = s }
+
 // Get returns the entry stored under key, marking it most recently used.
-// Every call counts as a hit or a miss.
+// On a memory miss it falls through to the durable store (if attached)
+// and promotes a disk hit back into the LRU. Every call counts as a hit
+// or a miss.
 func (c *Cache) Get(key string) (Entry, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses++
-		return Entry{}, false
+	if el, ok := c.byKey[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheItem).entry
+		c.mu.Unlock()
+		return e, true
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).entry, true
+	store := c.store
+	c.mu.Unlock()
+
+	if store != nil {
+		// Disk I/O and its verification happen outside c.mu so a slow read
+		// never stalls concurrent memory hits.
+		if de, ok := store.Get(key); ok {
+			e := Entry{State: JobState(de.State), Manifest: de.Manifest, Attempts: de.Attempts}
+			c.mu.Lock()
+			c.hits++
+			c.diskHits++
+			c.putLocked(key, e)
+			c.mu.Unlock()
+			return e, true
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return Entry{}, false
+}
+
+// Peek returns the entry stored under key without counting a hit or a
+// miss and without promoting disk entries into the memory tier. It is
+// the lookup used when serving manifests of jobs recovered from the
+// journal, where the read is bookkeeping rather than admission.
+func (c *Cache) Peek(key string) (Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheItem).entry
+		c.mu.Unlock()
+		return e, true
+	}
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		if de, ok := store.Get(key); ok {
+			return Entry{State: JobState(de.State), Manifest: de.Manifest, Attempts: de.Attempts}, true
+		}
+	}
+	return Entry{}, false
 }
 
 // Put stores an entry under key, evicting least-recently-used entries
-// until the budget holds. An entry bigger than the whole budget is not
-// stored at all — evicting everything to fit one oversized manifest would
-// just thrash. Re-putting an existing key replaces its entry.
+// until the budget holds, and writes through to the durable store when
+// one is attached. An entry bigger than the whole budget is not held in
+// memory — evicting everything to fit one oversized manifest would just
+// thrash — but it still reaches the store. Re-putting an existing key
+// replaces its entry.
 func (c *Cache) Put(key string, e Entry) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.putLocked(key, e)
+	store := c.store
+	disabled := c.budget <= 0
+	c.mu.Unlock()
+	if store != nil && !disabled {
+		// Write-through failure is survivable — the memory tier still
+		// serves the entry; the store records it in its PutErrors stat.
+		_ = store.Put(key, durable.Entry{State: string(e.State), Attempts: e.Attempts, Manifest: e.Manifest})
+	}
+}
+
+func (c *Cache) putLocked(key string, e Entry) {
 	if c.budget <= 0 || e.size() > c.budget {
 		return
 	}
@@ -116,5 +187,6 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
 	}
 }

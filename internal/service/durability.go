@@ -1,0 +1,257 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/durable"
+)
+
+// This file is the service side of crash safety: it wires the durable
+// store and journal into the server, replays the journal at boot into
+// live job records, and re-queues interrupted jobs on demand.
+//
+// The recovery policy, per journaled job:
+//
+//   - done record present      → recreate the job terminal; its manifest
+//     (if the state is cacheable) is served from the store by content
+//     address.
+//   - spec unparseable or needs a capability this server lacks → failed.
+//   - result already in the store → finish from cache ("from_cache").
+//   - any job in the key group had started → the whole group parks as
+//     interrupted; the next status/manifest fetch re-queues it. Re-running
+//     at boot would turn a spec that crashes the daemon into a crash
+//     loop, so the retry waits for a client to ask.
+//   - else (queued at the crash) → re-enqueued immediately, first job
+//     per key leading and the rest coalescing, exactly like admission.
+
+// openDurable opens the store and journal under cfg.DataDir, replays the
+// journal into job records, and returns the jobs to re-enqueue. It is a
+// no-op returning nil when DataDir is empty. Called from New before the
+// queue exists and before any worker starts, so it owns all state.
+func (s *Server) openDurable() ([]*Job, error) {
+	if s.cfg.DataDir == "" {
+		return nil, nil
+	}
+	store, err := durable.OpenStore(s.cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening durable store: %w", err)
+	}
+	s.store = store
+	s.cache.AttachStore(store)
+
+	path := durable.JournalPath(s.cfg.DataDir)
+	journal, recs, _, err := durable.OpenJournal(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening job journal: %w", err)
+	}
+	requeue := s.rebuildJobs(durable.BuildRecovery(recs))
+
+	// Compact the journal down to the still-live jobs so boot-time replay
+	// cost tracks in-flight work, not daemon lifetime. Terminal recovered
+	// jobs are dropped: their results live in the store under their
+	// content address, and their job records survive this process only.
+	if err := journal.Close(); err != nil {
+		return nil, fmt.Errorf("service: closing journal pre-compaction: %w", err)
+	}
+	compacted, err := durable.Compact(path, s.liveRecords())
+	if err != nil {
+		return nil, fmt.Errorf("service: compacting journal: %w", err)
+	}
+	s.journal = compacted
+	return requeue, nil
+}
+
+// rebuildJobs folds replayed journal records into live jobs, applying
+// the recovery policy above. It returns the jobs to re-enqueue. Runs
+// single-threaded from New, so it touches server maps without s.mu.
+func (s *Server) rebuildJobs(recovered []durable.JobRecovery) []*Job {
+	// The interrupted rule is per key group: if any pending job for a key
+	// had started, the crash happened (or may have happened) inside that
+	// simulation, and every job waiting on it parks as interrupted.
+	startedKeys := make(map[string]bool)
+	for _, jr := range recovered {
+		if jr.Terminal == "" && jr.Started {
+			startedKeys[jr.Key] = true
+		}
+	}
+
+	var requeue []*Job
+	for _, jr := range recovered {
+		if jr.Seq > s.seq {
+			s.seq = jr.Seq
+		}
+		spec, perr := ParseSpec(jr.Spec)
+		job := newJob(jr.Job, jr.Tenant, spec, jr.Key)
+		job.seq = jr.Seq
+		job.recovered = true
+		s.jobs[jr.Job] = job
+		s.order = append(s.order, jr.Job)
+
+		switch {
+		case jr.Terminal != "":
+			job.finish(JobState(jr.Terminal), nil, "", jr.Attempts)
+			s.recovered["completed"].Inc()
+
+		case perr != nil:
+			job.finish(JobFailed, nil, fmt.Sprintf("recovered job spec no longer parses: %v", perr), 0)
+			s.recovered["failed"].Inc()
+
+		case spec.FaultPlan != nil && s.cfg.FaultPlanRun == nil:
+			job.finish(JobFailed, nil, "recovered fault-plan job, but this server does not accept fault plans", 0)
+			s.recovered["failed"].Inc()
+
+		default:
+			if !spec.NoCache {
+				// Peek, not Get: boot-time recovery is bookkeeping, and
+				// must not skew the admission-facing hit/miss counters.
+				if e, ok := s.cache.Peek(jr.Key); ok {
+					job.finish(e.State, e.Manifest, "", e.Attempts)
+					s.recovered["from_cache"].Inc()
+					continue
+				}
+				if startedKeys[jr.Key] {
+					job.setState(JobInterrupted)
+					s.recovered["interrupted"].Inc()
+					continue
+				}
+				if leader := s.leaders[jr.Key]; leader != nil {
+					job.coalesced = true
+					s.followers[jr.Key] = append(s.followers[jr.Key], job)
+					s.recovered["requeued"].Inc()
+					continue
+				}
+				s.leaders[jr.Key] = job
+			} else if jr.Started {
+				// no_cache jobs share content keys with cache-participating
+				// submissions but never share runs, so only this job's own
+				// start record parks it.
+				job.setState(JobInterrupted)
+				s.recovered["interrupted"].Inc()
+				continue
+			}
+			s.tenantInFlight[job.tenant]++
+			requeue = append(requeue, job)
+			s.recovered["requeued"].Inc()
+		}
+	}
+	return requeue
+}
+
+// liveRecords renders the post-recovery pending jobs (queued and
+// interrupted) as journal records for compaction, in admission order.
+func (s *Server) liveRecords() []durable.Record {
+	var recs []durable.Record
+	for _, id := range s.order {
+		job := s.jobs[id]
+		st := job.currentState()
+		if st.Terminal() {
+			continue
+		}
+		recs = append(recs, s.submitRecord(job))
+		if st == JobInterrupted {
+			recs = append(recs, durable.Record{Op: durable.OpStart, Job: job.id})
+		}
+	}
+	return recs
+}
+
+// submitRecord renders a job's admission as a journal record. The spec
+// is the original parsed submission (not the canonical form), so flags
+// like no_cache survive a replay.
+func (s *Server) submitRecord(job *Job) durable.Record {
+	specJSON, err := json.Marshal(job.spec)
+	if err != nil { // a parsed Spec always re-marshals; defensive only
+		specJSON = nil
+	}
+	return durable.Record{
+		Op:        durable.OpSubmit,
+		Job:       job.id,
+		Seq:       job.seq,
+		Tenant:    job.tenant,
+		Key:       job.key,
+		Coalesced: job.coalesced,
+		Spec:      specJSON,
+	}
+}
+
+// journalAppend buffers a record; journalSync group-commits everything
+// buffered so far; journalAppendSync does both. All are no-ops without a
+// journal, and journal failures degrade durability but never fail jobs —
+// they are counted on apusimd_journal_errors_total instead.
+func (s *Server) journalAppend(rec durable.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.journalErrors.Inc()
+	}
+}
+
+func (s *Server) journalSync() {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.journalErrors.Inc()
+	}
+}
+
+func (s *Server) journalAppendSync(rec durable.Record) {
+	s.journalAppend(rec)
+	s.journalSync()
+}
+
+// maybeRequeueInterrupted moves an interrupted job back into the flow on
+// a client fetch: finish it from cache if the result has appeared, fall
+// in behind an identical in-flight run, or take a queue slot if one is
+// free. A full queue leaves the job interrupted — the next fetch tries
+// again — so recovery retries can never displace fresh admissions.
+func (s *Server) maybeRequeueInterrupted(job *Job) {
+	if job == nil || job.currentState() != JobInterrupted {
+		return
+	}
+	s.mu.Lock()
+	// Re-check under s.mu: a concurrent fetch may have re-queued it.
+	if job.currentState() != JobInterrupted || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	spec := job.spec
+	var fromCache *Entry
+	if !spec.NoCache {
+		if e, ok := s.cache.Peek(job.key); ok {
+			fromCache = &e
+		} else if leader := s.leaders[job.key]; leader != nil {
+			job.markCoalesced()
+			s.followers[job.key] = append(s.followers[job.key], job)
+			job.setState(JobQueued)
+			s.journalAppend(s.submitRecord(job))
+			s.mu.Unlock()
+			s.journalSync()
+			return
+		}
+	}
+	if fromCache != nil {
+		s.mu.Unlock()
+		job.finish(fromCache.State, fromCache.Manifest, "", fromCache.Attempts)
+		s.journalAppendSync(durable.Record{Op: durable.OpDone, Job: job.id,
+			State: string(fromCache.State), Attempts: fromCache.Attempts})
+		return
+	}
+	if len(s.queue) >= s.cfg.QueueDepth || len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		return
+	}
+	if !spec.NoCache {
+		s.leaders[job.key] = job
+	}
+	s.tenantInFlight[job.tenant]++
+	// Transition before the send: the worker may set running immediately,
+	// and setState ignores nothing here (interrupted is not terminal).
+	job.setState(JobQueued)
+	s.journalAppend(s.submitRecord(job))
+	s.queue <- job // cannot block: depth checked under s.mu
+	s.mu.Unlock()
+	s.journalSync()
+}

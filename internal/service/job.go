@@ -29,6 +29,11 @@ const (
 	// JobCancelled marks a job stopped by a forced shutdown before it
 	// could finish.
 	JobCancelled JobState = "cancelled"
+	// JobInterrupted marks a recovered job that was running when the
+	// daemon died. It is NOT terminal: the daemon does not re-run such
+	// jobs at boot (the job itself may be what killed the process), but
+	// the next status or manifest fetch transparently re-queues it.
+	JobInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state ends the lifecycle.
@@ -68,16 +73,21 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// HasManifest says whether GET /v1/jobs/{id}/manifest will succeed.
 	HasManifest bool `json:"has_manifest"`
+	// Recovered marks a job rebuilt from the journal after a restart
+	// rather than submitted to this process.
+	Recovered bool `json:"recovered,omitempty"`
 	// Transitions is the recorded lifecycle so far.
 	Transitions []Transition `json:"transitions"`
 }
 
 // Job is one submitted run. All fields behind mu; accessors copy.
 type Job struct {
-	id     string
-	tenant string
-	spec   *Spec
-	key    string
+	id        string
+	tenant    string
+	spec      *Spec
+	key       string
+	seq       int  // admission order, stable across journal replay
+	recovered bool // rebuilt from the journal after a restart
 
 	mu          sync.Mutex
 	state       JobState
@@ -115,9 +125,25 @@ func (j *Job) statusLocked() JobStatus {
 		Coalesced:   j.coalesced,
 		Attempts:    j.attempts,
 		Error:       j.errMsg,
-		HasManifest: len(j.manifest) > 0,
+		HasManifest: len(j.manifest) > 0 || (j.recovered && cacheable(j.state)),
+		Recovered:   j.recovered,
 		Transitions: append([]Transition(nil), j.transitions...),
 	}
+}
+
+// currentState returns the job's state under its lock.
+func (j *Job) currentState() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// markCoalesced flags the job as waiting on an identical in-flight run.
+// Used when an interrupted job is re-queued onto an existing leader.
+func (j *Job) markCoalesced() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.coalesced = true
 }
 
 // Manifest returns the job's stored manifest bytes, or nil if the job has

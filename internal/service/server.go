@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/ras"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -39,6 +42,15 @@ type Config struct {
 	CacheBytes int64
 	// JobTimeout is the per-job wall-clock deadline; <= 0 selects 2m.
 	JobTimeout time.Duration
+	// DataDir, when non-empty, makes the server crash-safe: results are
+	// persisted to a content-addressed store under this directory and
+	// every admission is journaled, so a restart replays interrupted work
+	// instead of losing it. Empty keeps the daemon memory-only.
+	DataDir string
+	// RetryBackoff is the base delay between a job's retry attempts;
+	// <= 0 selects 100ms. Delays grow exponentially per attempt with
+	// deterministic jitter and are capped at 10x the base.
+	RetryBackoff time.Duration
 }
 
 // DefaultTenant is the tenant jobs without an X-Tenant header bill to.
@@ -51,12 +63,28 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 
-	metrics   *telemetry.Set
-	submitted *telemetry.Var
-	rejected  map[string]*telemetry.Var
-	completed map[JobState]*telemetry.Var
-	coalesced *telemetry.Var
-	misses    *telemetry.Var
+	// store and journal are the durability layer; both nil when
+	// Config.DataDir is empty. journalClose makes the flush-on-drain
+	// idempotent (tests call Drain more than once).
+	store        *durable.Store
+	journal      *durable.Journal
+	journalClose sync.Once
+
+	metrics        *telemetry.Set
+	submitted      *telemetry.Var
+	rejected       map[string]*telemetry.Var
+	completed      map[JobState]*telemetry.Var
+	coalesced      *telemetry.Var
+	misses         *telemetry.Var
+	recovered      map[string]*telemetry.Var
+	journalErrors  *telemetry.Var
+	workerPanics   *telemetry.Var
+	workerRestarts *telemetry.Var
+	shedRetryAfter *telemetry.Var
+
+	// testHookJob, when set, runs on a worker just before each job is
+	// processed — the seam the supervision tests use to inject panics.
+	testHookJob func(*Job)
 
 	mu             sync.Mutex
 	draining       bool
@@ -94,10 +122,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobTimeout <= 0 {
 		cfg.JobTimeout = 2 * time.Minute
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewCache(cfg.CacheBytes),
-		queue:          make(chan *Job, cfg.QueueDepth),
 		jobs:           make(map[string]*Job),
 		leaders:        make(map[string]*Job),
 		followers:      make(map[string][]*Job),
@@ -105,6 +135,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.initMetrics()
+	// Recovery runs before the queue exists and before any worker starts:
+	// the journal is replayed into job records, and jobs that were queued
+	// at the crash come back as a requeue list.
+	requeue, err := s.openDurable()
+	if err != nil {
+		return nil, err
+	}
+	// The queue is sized so replayed jobs never block the constructor even
+	// when more jobs were pending at the crash than QueueDepth allows;
+	// fresh admissions are checked against cfg.QueueDepth, not cap().
+	s.queue = make(chan *Job, cfg.QueueDepth+len(requeue))
+	for _, job := range requeue {
+		s.queue <- job
+	}
 	s.initMux()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -159,6 +203,55 @@ func (s *Server) initMetrics() {
 			defer s.mu.Unlock()
 			return float64(s.running)
 		})
+	s.recovered = map[string]*telemetry.Var{}
+	for _, outcome := range []string{"requeued", "interrupted", "from_cache", "completed", "failed"} {
+		s.recovered[outcome] = m.Counter("apusimd_recovered_jobs_total",
+			"Jobs rebuilt from the journal at startup, by recovery outcome.",
+			telemetry.Label{Key: "outcome", Value: outcome})
+	}
+	m.CounterFunc("apusimd_cache_disk_hits_total",
+		"Cache hits served from the durable store after a memory miss.",
+		func() float64 { return float64(s.cache.Stats().DiskHits) })
+	m.CounterFunc("apusimd_cache_quarantined_total",
+		"Durable cache entries quarantined after failing verification.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().Quarantined)
+		})
+	m.GaugeFunc("apusimd_store_entries",
+		"Verified entries resident in the durable store.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().Entries)
+		})
+	m.CounterFunc("apusimd_journal_appends_total",
+		"Records appended to the job journal.",
+		func() float64 {
+			if s.journal == nil {
+				return 0
+			}
+			return float64(s.journal.Stats().Appends)
+		})
+	m.CounterFunc("apusimd_journal_syncs_total",
+		"fsync batches flushed to the job journal (group commit).",
+		func() float64 {
+			if s.journal == nil {
+				return 0
+			}
+			return float64(s.journal.Stats().Syncs)
+		})
+	s.journalErrors = m.Counter("apusimd_journal_errors_total",
+		"Journal appends or syncs that failed (jobs still ran, durability degraded).")
+	s.workerPanics = m.Counter("apusimd_worker_panics_total",
+		"Panics that escaped a job and were isolated by the worker supervisor.")
+	s.workerRestarts = m.Counter("apusimd_worker_restarts_total",
+		"Worker loops respawned after a panic escaped job isolation.")
+	s.shedRetryAfter = m.Gauge("apusimd_shed_retry_after_seconds",
+		"Retry-After advised on the most recent load-shed 429 response.")
 }
 
 // Metrics exposes the server's counter set (tests and embedders).
@@ -167,29 +260,78 @@ func (s *Server) Metrics() *telemetry.Set { return s.metrics }
 // CacheStats exposes the result cache's counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
-// worker drains the job queue until Drain closes it. A worker that picks
-// up a job after a forced shutdown cancels it instead of simulating.
+// worker is the self-healing worker loop: it drains the job queue until
+// Drain closes it, and if a panic ever escapes per-job isolation it
+// respawns the drain loop instead of silently shrinking the pool.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		if err := s.runCtx.Err(); err != nil {
-			s.finishJob(job, JobCancelled, nil, "cancelled: shutdown before the job ran", 0)
-			continue
+	for {
+		if s.drainJobs() {
+			return
 		}
-		job.setState(JobRunning)
+		s.workerRestarts.Inc()
+	}
+}
+
+// drainJobs processes queued jobs until the queue closes (returning
+// true) or a panic escapes processJob's own isolation (returning false
+// so the worker respawns it).
+func (s *Server) drainJobs() (clean bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.workerPanics.Inc()
+			clean = false
+		}
+	}()
+	for job := range s.queue {
+		s.processJob(job)
+	}
+	return true
+}
+
+// processJob runs one job on this worker. A panic inside the job path
+// fails the job rather than the worker; a worker that picks up a job
+// after a forced shutdown cancels it instead of simulating.
+func (s *Server) processJob(job *Job) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.workerPanics.Inc()
+			s.finishJob(job, JobFailed, nil, fmt.Sprintf("worker panic: %v", p), 0)
+		}
+	}()
+	if hook := s.testHookJob; hook != nil {
+		hook(job)
+	}
+	if err := s.runCtx.Err(); err != nil {
+		s.finishJob(job, JobCancelled, nil, "cancelled: shutdown before the job ran", 0)
+		return
+	}
+	job.setState(JobRunning)
+	// The start record must be durable before the simulation begins:
+	// if this job is what crashes the process, replay sees the start and
+	// parks the job as interrupted instead of re-running it at boot — the
+	// guard against a poisoned spec crash-looping the daemon.
+	s.journalAppendSync(durable.Record{Op: durable.OpStart, Job: job.id})
+	var res runner.Result
+	var manifest []byte
+	func() {
 		s.mu.Lock()
 		s.running++
 		s.mu.Unlock()
-		res, manifest := s.simulate(job)
-		s.mu.Lock()
-		s.running--
-		s.mu.Unlock()
-		errMsg := ""
-		if res.Err != nil {
-			errMsg = res.Err.Error()
-		}
-		s.finishJob(job, stateForStatus(res.Status), manifest, errMsg, res.Attempts)
+		// The occupancy gauge must come back down even if the simulation
+		// panics out of this frame (the outer recover fails the job).
+		defer func() {
+			s.mu.Lock()
+			s.running--
+			s.mu.Unlock()
+		}()
+		res, manifest = s.simulate(job)
+	}()
+	errMsg := ""
+	if res.Err != nil {
+		errMsg = res.Err.Error()
 	}
+	s.finishJob(job, stateForStatus(res.Status), manifest, errMsg, res.Attempts)
 }
 
 // simulate runs one job on the runner — per-job engine, panic isolation,
@@ -215,15 +357,17 @@ func (s *Server) simulate(job *Job) (runner.Result, []byte) {
 		id = "faultplan"
 	}
 	opts := runner.Options{
-		Parallel:    1,
-		IDs:         []string{id},
-		Timeout:     s.cfg.JobTimeout,
-		Retries:     spec.Retries,
-		Context:     s.runCtx,
-		SampleEvery: sim.Time(spec.SampleNS) * sim.Nanosecond,
-		SpanSample:  1,
-		Audit:       spec.Audit,
-		Strict:      spec.Strict,
+		Parallel:        1,
+		IDs:             []string{id},
+		Timeout:         s.cfg.JobTimeout,
+		Retries:         spec.Retries,
+		RetryBackoff:    s.cfg.RetryBackoff,
+		RetryBackoffMax: 10 * s.cfg.RetryBackoff,
+		Context:         s.runCtx,
+		SampleEvery:     sim.Time(spec.SampleNS) * sim.Nanosecond,
+		SpanSample:      1,
+		Audit:           spec.Audit,
+		Strict:          spec.Strict,
 	}
 	if spec.Spans {
 		opts.SpanSample = spec.SpanSample
@@ -292,6 +436,14 @@ func (s *Server) finishJob(job *Job, state JobState, manifest []byte, errMsg str
 		f.finish(state, manifest, errMsg, attempts)
 		s.completed[state].Add(1)
 	}
+	// Done records ride the next group commit rather than forcing their
+	// own fsync: if they are lost to a crash, replay re-admits the job and
+	// the content-addressed store finishes it from cache — idempotent.
+	s.journalAppend(durable.Record{Op: durable.OpDone, Job: job.id, State: string(state), Attempts: attempts})
+	for _, f := range fols {
+		s.journalAppend(durable.Record{Op: durable.OpDone, Job: f.id, State: string(state), Attempts: attempts})
+	}
+	s.journalSync()
 }
 
 // Drain stops the server gracefully: new submissions are refused with
@@ -315,12 +467,26 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.cancelRun()
 		<-done
+		s.closeJournal()
 		return ctx.Err()
 	}
+}
+
+// closeJournal flushes and closes the journal once the pool is idle, so
+// buffered done records reach disk before the process exits.
+func (s *Server) closeJournal() {
+	s.journalClose.Do(func() {
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil {
+				s.journalErrors.Inc()
+			}
+		}
+	})
 }
 
 // Draining reports whether Drain has begun.
@@ -421,7 +587,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			job := s.newJobLocked(tenant, spec, key)
 			job.coalesced = true
 			s.followers[key] = append(s.followers[key], job)
+			s.journalAppend(s.submitRecord(job))
 			s.mu.Unlock()
+			// Sync before the 202: an acknowledged admission must survive
+			// a crash.
+			s.journalSync()
 			s.submitted.Inc()
 			s.coalesced.Inc()
 			writeJSON(w, http.StatusAccepted, job.Status())
@@ -440,16 +610,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// A fresh simulation is needed: admission control applies.
 	if s.cfg.TenantMaxInFlight > 0 && s.tenantInFlight[tenant] >= s.cfg.TenantMaxInFlight {
+		retry := s.retryAfterLocked()
 		s.mu.Unlock()
 		s.rejected["tenant_limit"].Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
 		writeErr(w, http.StatusTooManyRequests, "tenant %q already has %d jobs in flight (limit %d)",
 			tenant, s.cfg.TenantMaxInFlight, s.cfg.TenantMaxInFlight)
 		return
 	}
-	if len(s.queue) >= cap(s.queue) {
+	// Fresh admissions are bounded by the configured depth, not the
+	// channel capacity — after a crash the channel is oversized to hold
+	// replayed jobs, and that headroom is not new admission budget.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		retry := s.retryAfterLocked()
 		s.mu.Unlock()
 		s.rejected["queue_full"].Inc()
-		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d deep); retry with backoff", cap(s.queue))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d deep); retry with backoff", s.cfg.QueueDepth)
 		return
 	}
 	job := s.newJobLocked(tenant, spec, key)
@@ -457,8 +634,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.leaders[key] = job
 	}
 	s.tenantInFlight[tenant]++
+	// The submit record is appended before the job becomes reachable via
+	// the queue, so it always precedes the worker's start record.
+	s.journalAppend(s.submitRecord(job))
 	s.queue <- job // cannot block: depth checked under s.mu, only workers drain
 	s.mu.Unlock()
+	s.journalSync() // durable before the 202 acknowledgement
 	s.submitted.Inc()
 	if !spec.NoCache {
 		s.misses.Inc()
@@ -466,11 +647,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
+// retryAfterLocked derives the Retry-After seconds advised on load-shed
+// 429s from current queue pressure: roughly one worker-pass over the
+// backlog, never less than a second. s.mu must be held.
+func (s *Server) retryAfterLocked() int {
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	retry := (len(s.queue) + s.running + workers - 1) / workers
+	if retry < 1 {
+		retry = 1
+	}
+	s.shedRetryAfter.Set(float64(retry))
+	return retry
+}
+
 // newJobLocked allocates and registers a job; s.mu must be held.
 func (s *Server) newJobLocked(tenant string, spec *Spec, key string) *Job {
 	s.seq++
 	id := fmt.Sprintf("j-%06d", s.seq)
 	job := newJob(id, tenant, spec, key)
+	job.seq = s.seq
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	return job
@@ -491,6 +689,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.maybeRequeueInterrupted(job)
 	if r.URL.Query().Get("watch") == "" {
 		writeJSON(w, http.StatusOK, job.Status())
 		return
@@ -519,14 +718,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleManifest serves the job's stored run manifest verbatim.
+// handleManifest serves the job's stored run manifest verbatim. For a
+// job recovered as already-completed, the manifest bytes live in the
+// durable store rather than on the job record; they are fetched by
+// content address on demand.
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	job := s.jobByID(r.PathValue("id"))
 	if job == nil {
 		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.maybeRequeueInterrupted(job)
 	m := job.Manifest()
+	if m == nil {
+		st := job.Status()
+		if st.Recovered && cacheable(st.State) {
+			if e, ok := s.cache.Peek(job.key); ok {
+				m = e.Manifest
+			}
+		}
+	}
 	if m == nil {
 		writeErr(w, http.StatusNotFound, "job %s has no manifest (state %s)", job.id, job.Status().State)
 		return
@@ -536,8 +747,29 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(m)
 }
 
-// handleList serves every job's status in submission order.
+// knownJobStates is the set ?status= may filter on.
+var knownJobStates = map[JobState]bool{
+	JobQueued: true, JobRunning: true, JobInterrupted: true,
+	JobOK: true, JobDegraded: true, JobViolated: true,
+	JobFailed: true, JobCancelled: true,
+}
+
+// handleList serves job statuses in stable submission order (recovered
+// jobs first, in their original admission order — job IDs are preserved
+// across restarts). An optional ?status= query keeps only jobs currently
+// in that state; unknown states are a 400, not an empty list, so a typo
+// ("sucess") cannot read as "no such jobs".
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := JobState(r.URL.Query().Get("status"))
+	if filter != "" && !knownJobStates[filter] {
+		states := make([]string, 0, len(knownJobStates))
+		for st := range knownJobStates {
+			states = append(states, string(st))
+		}
+		sort.Strings(states)
+		writeErr(w, http.StatusBadRequest, "unknown status %q (one of: %s)", filter, strings.Join(states, ", "))
+		return
+	}
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
@@ -548,7 +780,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Jobs []JobStatus `json:"jobs"`
 	}{Jobs: make([]JobStatus, 0, len(jobs))}
 	for _, j := range jobs {
-		out.Jobs = append(out.Jobs, j.Status())
+		st := j.Status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out.Jobs = append(out.Jobs, st)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -159,6 +159,26 @@ func renderLabels(labels []Label) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// Values returns a snapshot of every registered variable, keyed by its
+// full sample name ("family" or "family{label=\"v\"}"). Func metrics are
+// read at snapshot time. It exists so in-process consumers — recovery
+// assertions, health summaries — can read the same numbers /v1/metrics
+// exposes without parsing exposition text.
+func (s *Set) Values() map[string]float64 {
+	s.mu.Lock()
+	fams := make([]*family, len(s.families))
+	copy(fams, s.families)
+	s.mu.Unlock()
+
+	out := make(map[string]float64)
+	for _, f := range fams {
+		for _, v := range f.vars {
+			out[f.name+v.labels] = v.Value()
+		}
+	}
+	return out
+}
+
 // WritePromText renders every registered family in Prometheus text
 // exposition format (version 0.0.4): HELP and TYPE once per family, then
 // one sample line per variable, all in registration order.

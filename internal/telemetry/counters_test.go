@@ -38,6 +38,26 @@ func TestSetCountersAndGauges(t *testing.T) {
 	}
 }
 
+func TestSetValuesSnapshot(t *testing.T) {
+	s := NewSet()
+	s.Counter("jobs_total", "Jobs.", Label{"state", "ok"}).Add(4)
+	s.Gauge("depth", "Depth.").Set(7)
+	live := 0.0
+	s.GaugeFunc("live", "Live value.", func() float64 { return live })
+	live = 3
+
+	got := s.Values()
+	want := map[string]float64{`jobs_total{state="ok"}`: 4, "depth": 7, "live": 3}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Values()[%q] = %g, want %g (full snapshot %v)", k, got[k], v, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("snapshot holds %d samples, want %d: %v", len(got), len(want), got)
+	}
+}
+
 func TestSetFuncMetricsReadAtScrape(t *testing.T) {
 	s := NewSet()
 	var mu sync.Mutex
