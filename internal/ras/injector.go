@@ -11,6 +11,9 @@ import (
 	"repro/internal/spans"
 )
 
+// FaultClass is the engine handler class of scheduled fault events.
+const FaultClass = "ras.fault"
+
 // Targets names the model instances a plan injects into. Any field may be
 // nil; a fault whose target is absent is a plan error caught at Arm time,
 // not silently skipped.
@@ -66,6 +69,7 @@ func (in *Injector) Arm(eng *sim.Engine, t Targets) (int, error) {
 	// Every fault forks its own RNG stream up front, in schedule order:
 	// the draws a fault makes cannot shift an unrelated fault's stream,
 	// and arming is deterministic even though faults fire lazily.
+	cls := eng.Class(FaultClass)
 	for i, f := range faults {
 		f := f
 		rng := in.rng.Fork(uint64(i))
@@ -73,7 +77,7 @@ func (in *Injector) Arm(eng *sim.Engine, t Targets) (int, error) {
 		if at < eng.Now() {
 			at = eng.Now()
 		}
-		eng.ScheduleNamed("ras.fault", at, func(now sim.Time) {
+		eng.Schedule(at, cls, func(now sim.Time) {
 			in.apply(f, t, rng, now)
 		})
 	}

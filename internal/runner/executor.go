@@ -346,7 +346,7 @@ func runAttempt(e Experiment, opts Options) Result {
 		sim.NewWatchdog(wcfg).Install(ctx.eng)
 		// A completion sentinel stays queued unless the run finishes
 		// cleanly, so EventsPending > 0 flags an abnormal end.
-		sentinel := ctx.eng.ScheduleNamed("runner.sentinel", sim.Forever, func(sim.Time) {})
+		sentinel := ctx.eng.Schedule(sim.Forever, ctx.clsSentinel, func(sim.Time) {})
 		defer func() {
 			if p := recover(); p != nil {
 				if trip, ok := p.(*sim.WatchdogTrip); ok {

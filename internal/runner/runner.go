@@ -41,6 +41,11 @@ type Ctx struct {
 	spanRec     *spans.Recorder
 	aud         *audit.Auditor
 
+	// Interned engine classes for the runner's own lifecycle events,
+	// resolved once at construction so the per-event path is integer-only.
+	clsMilestone sim.Class
+	clsSentinel  sim.Class
+
 	mu         sync.Mutex
 	milestones []string
 	faults     []string
@@ -49,6 +54,8 @@ type Ctx struct {
 
 func newCtx(id string, opts Options) *Ctx {
 	c := &Ctx{id: id, eng: sim.NewEngine(), sampleEvery: opts.SampleEvery, spanSample: opts.SpanSample}
+	c.clsMilestone = c.eng.Class("runner.milestone")
+	c.clsSentinel = c.eng.Class("runner.sentinel")
 	if opts.Audit {
 		c.aud = audit.New()
 		// Every audited run gets the drain-quiescence check; experiments
@@ -79,7 +86,7 @@ func (c *Ctx) Engine() *sim.Engine { return c.eng }
 // nondeterministic across runs.)
 func (c *Ctx) Milestone(name string) {
 	at := c.eng.Now()
-	c.eng.ScheduleNamed("runner.milestone", at, func(sim.Time) {})
+	c.eng.Schedule(at, c.clsMilestone, func(sim.Time) {})
 	c.eng.Run(at)
 	c.mu.Lock()
 	c.milestones = append(c.milestones, name)

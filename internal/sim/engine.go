@@ -8,151 +8,87 @@
 // all be expressed exactly without floating-point drift. Events scheduled for
 // the same instant fire in the order they were scheduled, which makes every
 // simulation in this repository fully deterministic for a given seed.
+//
+// The event queue is a two-tier calendar — a timing wheel of FIFO buckets
+// over a near-future window plus a far-future overflow heap (see wheel.go)
+// — with value-typed event slots recycled through a free list, so
+// steady-state scheduling allocates nothing. Handler classes are interned
+// Class handles (eng.Class("hbm.access") once at setup, integer IDs on the
+// hot path); ScheduleNamed and the string NamedHook remain as deprecated
+// wrappers for callers that have not migrated.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 	"time"
 )
-
-// Time is a simulated timestamp in picoseconds.
-type Time int64
-
-// Common durations.
-const (
-	Picosecond  Time = 1
-	Nanosecond  Time = 1000
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
-
-	// Forever is a sentinel meaning "no deadline".
-	Forever Time = math.MaxInt64
-)
-
-// Seconds converts t to floating-point seconds, for reporting.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
-
-// Nanoseconds converts t to floating-point nanoseconds, for reporting.
-func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
-
-// Microseconds converts t to floating-point microseconds, for reporting.
-func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
-
-// Milliseconds converts t to floating-point milliseconds, for reporting.
-func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
-
-// String renders the time with an auto-selected unit.
-func (t Time) String() string {
-	switch {
-	case t == Forever:
-		return "∞"
-	case t >= Second:
-		return fmt.Sprintf("%.3fs", t.Seconds())
-	case t >= Millisecond:
-		return fmt.Sprintf("%.3fms", t.Milliseconds())
-	case t >= Microsecond:
-		return fmt.Sprintf("%.3fµs", t.Microseconds())
-	case t >= Nanosecond:
-		return fmt.Sprintf("%.3fns", t.Nanoseconds())
-	default:
-		return fmt.Sprintf("%dps", int64(t))
-	}
-}
-
-// FromSeconds converts floating-point seconds to a Time, saturating at
-// Forever for non-finite or out-of-range inputs.
-func FromSeconds(s float64) Time {
-	ps := s * float64(Second)
-	if math.IsNaN(ps) || ps >= float64(math.MaxInt64) {
-		return Forever
-	}
-	if ps <= 0 {
-		return 0
-	}
-	return Time(ps)
-}
 
 // Handler is a callback fired when an event's time arrives.
 type Handler func(now Time)
 
-// Hook observes engine execution. A profiler installed with SetHook
-// receives one callback per fired event with the event's class, its
-// simulated firing time, and the wall-clock cost of its handler. The
-// engine measures handler wall time only while a hook is installed, so an
-// unprofiled run pays nothing.
-type Hook interface {
-	EventDone(class string, at Time, wall time.Duration)
-}
-
-// DefaultClass is the handler class assigned by Schedule/After; components
-// that want per-class profiling use ScheduleNamed instead.
-const DefaultClass = "event"
-
-// event is a scheduled callback in the engine's priority queue.
-type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among equal timestamps
-	fn    Handler
-	class string
-	dead  bool // cancelled
-	idx   int  // heap index
-}
-
-// eventHeap implements container/heap over *event ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is inert: cancelling it reports false.
 type EventID struct {
-	e   *event
-	seq uint64
+	idx int32
+	gen uint32
 }
 
 // Engine is a deterministic discrete-event simulator.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	cancel uint64
-	hook   Hook
-	hwm    int
+	now Time
+	seq uint64
+
+	// Interned handler classes (see class.go). Slot 0 is ClassDefault.
+	classes  []classInfo
+	classIdx map[string]Class
+
+	// Event slot arena and free list (see wheel.go).
+	events []event
+	free   []int32
+
+	// Dispatch buffer: the expired bucket currently being fired, sorted
+	// by (at, seq) and consumed from dispatchPos. Everything with
+	// at < dispatchEnd lives here.
+	dispatch    []int32
+	dispatchPos int
+	dispatchEnd Time
+
+	// Timing wheel over [wheelStart, windowEnd).
+	wheelStart Time
+	windowEnd  Time
+	buckets    [wheelSize][]int32
+	occupied   [wheelSize / 64]uint64
+	nearCount  int
+
+	// Far-future overflow (min-heap by (at, seq)) and Forever sentinels.
+	overflow []int32
+	forever  []int32
+
+	liveCount  int // queued, not cancelled (Forever sentinels included)
+	liveFinite int // queued, not cancelled, at != Forever
+	deadCount  int // cancelled, awaiting reclamation
+
+	fired     uint64
+	cancelled uint64
+	hwm       int
+
+	hook      Hook
+	profiling bool
 }
 
-// NewEngine returns an engine positioned at time zero with an empty queue.
+// NewEngine returns an engine positioned at time zero with an empty queue
+// and ClassDefault pre-interned.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		classes:  []classInfo{{name: DefaultClass}},
+		classIdx: map[string]Class{DefaultClass: ClassDefault},
+		// Arena slot 0 is a permanent dummy (never allocated, never freed)
+		// so the zero EventID{idx: 0} can never match a real event.
+		events:    make([]event, 1),
+		windowEnd: windowSpan,
+	}
 }
 
 // Now reports the current simulated time.
@@ -160,145 +96,155 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events still queued (including cancelled
 // events not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.liveCount + e.deadCount }
 
 // Fired reports the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Cancelled reports the total number of events cancelled so far.
-func (e *Engine) Cancelled() uint64 { return e.cancel }
+func (e *Engine) Cancelled() uint64 { return e.cancelled }
 
 // Drained reports whether no live events remain: the queue is empty or
-// holds only cancelled events awaiting lazy reaping (which Pending still
+// holds only cancelled events awaiting reclamation (which Pending still
 // counts).
-func (e *Engine) Drained() bool {
-	for _, ev := range e.queue {
-		if !ev.dead {
-			return false
-		}
-	}
-	return true
-}
+func (e *Engine) Drained() bool { return e.liveCount == 0 }
 
 // Quiescent reports whether the engine has reached its natural end state:
 // every remaining live event is parked at Forever (sentinels that never
 // fire) or the queue is drained entirely. A RunAll that returns with the
 // engine non-quiescent left real future work unexecuted — the audit layer
 // flags that as a violated drain invariant.
-func (e *Engine) Quiescent() bool {
-	for _, ev := range e.queue {
-		if !ev.dead && ev.at != Forever {
-			return false
-		}
-	}
-	return true
-}
-
-// Schedule queues fn to run at absolute time at under DefaultClass.
-// Scheduling in the past (before Now) panics: it indicates a causality bug
-// in a component model.
-func (e *Engine) Schedule(at Time, fn Handler) EventID {
-	return e.ScheduleNamed(DefaultClass, at, fn)
-}
-
-// ScheduleNamed is Schedule with an explicit handler class, so installed
-// Hooks (and telemetry engine profiles) can attribute fired events and
-// handler wall time per subsystem (e.g. "ras.fault", "telemetry.sample").
-func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling %q event at %v before now %v", class, at, e.now))
-	}
-	if fn == nil {
-		panic(fmt.Sprintf("sim: invariant violated: %q event scheduled with a nil handler", class))
-	}
-	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn, class: class}
-	heap.Push(&e.queue, ev)
-	if len(e.queue) > e.hwm {
-		e.hwm = len(e.queue)
-	}
-	return EventID{e: ev, seq: e.seq}
-}
-
-// SetHook installs (or, with nil, removes) the execution observer,
-// replacing anything installed before. Components that must coexist with
-// other observers (telemetry profiles, the watchdog) use AddHook instead.
-func (e *Engine) SetHook(h Hook) { e.hook = h }
-
-// AddHook chains h behind any observer already installed: every hook
-// receives every EventDone callback, in installation order. This is the
-// seam that lets the telemetry engine profile and the runtime watchdog
-// share one engine without clobbering each other.
-func (e *Engine) AddHook(h Hook) {
-	if h == nil {
-		return
-	}
-	if e.hook == nil {
-		e.hook = h
-		return
-	}
-	if m, ok := e.hook.(*multiHook); ok {
-		m.hooks = append(m.hooks, h)
-		return
-	}
-	e.hook = &multiHook{hooks: []Hook{e.hook, h}}
-}
-
-// multiHook fans one EventDone callback out to several observers.
-type multiHook struct{ hooks []Hook }
-
-func (m *multiHook) EventDone(class string, at Time, wall time.Duration) {
-	for _, h := range m.hooks {
-		h.EventDone(class, at, wall)
-	}
-}
+func (e *Engine) Quiescent() bool { return e.liveFinite == 0 }
 
 // QueueHighWater reports the deepest the event queue has ever been
 // (including cancelled events not yet reaped).
 func (e *Engine) QueueHighWater() int { return e.hwm }
 
-// After queues fn to run d picoseconds from now. A negative d panics via
-// Schedule with the class name in the message — an earlier version
-// silently clamped it to 0, which hid causality bugs until the stale
-// event fired far from the buggy caller.
-func (e *Engine) After(d Time, fn Handler) EventID {
-	return e.Schedule(e.now+d, fn)
+// Schedule queues fn to run at absolute time at under the interned class
+// handle (obtain one at setup time with Engine.Class; ClassDefault is
+// always valid). Scheduling in the past (before Now) panics: it indicates
+// a causality bug in a component model.
+func (e *Engine) Schedule(at Time, class Class, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q event at %v before now %v", e.ClassName(class), at, e.now))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sim: invariant violated: %q event scheduled with a nil handler", e.ClassName(class)))
+	}
+	if class < 0 || int(class) >= len(e.classes) {
+		panic(fmt.Sprintf("sim: schedule with Class %d not interned on this engine", class))
+	}
+	e.seq++
+	idx := e.alloc()
+	ev := &e.events[idx]
+	ev.at, ev.seq, ev.fn, ev.class, ev.state = at, e.seq, fn, class, slotQueued
+	e.place(idx)
+	e.liveCount++
+	if at != Forever {
+		e.liveFinite++
+	}
+	if p := e.liveCount + e.deadCount; p > e.hwm {
+		e.hwm = p
+	}
+	return EventID{idx: idx, gen: ev.gen}
+}
+
+// After queues fn to run d picoseconds from now under class. A negative d
+// panics via Schedule with the class name in the message — an earlier
+// version silently clamped it to 0, which hid causality bugs until the
+// stale event fired far from the buggy caller.
+func (e *Engine) After(d Time, class Class, fn Handler) EventID {
+	return e.Schedule(e.now+d, class, fn)
+}
+
+// ScheduleNamed is Schedule keyed by a class name string, interning it on
+// every call.
+//
+// Deprecated: intern the class once at setup (cls := eng.Class(name)) and
+// call Schedule(at, cls, fn); this wrapper pays a map lookup per event.
+func (e *Engine) ScheduleNamed(class string, at Time, fn Handler) EventID {
+	return e.Schedule(at, e.Class(class), fn)
+}
+
+// AfterNamed is After keyed by a class name string, interning it on
+// every call.
+//
+// Deprecated: intern the class once at setup and call After(d, cls, fn).
+func (e *Engine) AfterNamed(class string, d Time, fn Handler) EventID {
+	return e.After(d, e.Class(class), fn)
 }
 
 // Cancel marks a previously scheduled event dead. It returns false if the
-// event already fired or was already cancelled.
+// event already fired or was already cancelled. Cancelled Forever
+// sentinels are reclaimed immediately; cancelled finite events are
+// reclaimed when the dispatch loop passes them or when dead slots
+// outnumber live ones (so a schedule/cancel loop cannot grow memory).
 func (e *Engine) Cancel(id EventID) bool {
-	if id.e == nil || id.e.dead || id.e.idx < 0 || id.e.seq != id.seq {
+	if id.idx <= 0 || int(id.idx) >= len(e.events) {
 		return false
 	}
-	id.e.dead = true
-	e.cancel++
+	ev := &e.events[id.idx]
+	if ev.state != slotQueued || ev.gen != id.gen {
+		return false
+	}
+	e.cancelled++
+	e.liveCount--
+	if ev.at != Forever {
+		e.liveFinite--
+		ev.state = slotDead
+		ev.fn = nil
+		e.deadCount++
+		e.maybePurge()
+	} else {
+		ev.state = slotDead
+		e.cancelForever(id.idx)
+	}
 	return true
 }
 
-// Step executes the single earliest event. It reports false when the queue
-// is empty.
+// Step executes the single earliest event. It reports false when no
+// finite events remain (Forever sentinels never fire).
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: invariant violated: event %q at %v fires before now %v (time moved backwards)", ev.class, ev.at, e.now))
-		}
-		e.now = ev.at
-		e.fired++
-		if e.hook != nil {
-			start := time.Now()
-			ev.fn(e.now)
-			e.hook.EventDone(ev.class, e.now, time.Since(start))
-		} else {
-			ev.fn(e.now)
-		}
-		return true
+	idx, ok := e.nextLive()
+	if !ok {
+		return false
 	}
-	return false
+	e.fire(idx)
+	return true
+}
+
+// fire pops the dispatch-buffer head (which nextLive just validated),
+// advances the clock, and runs the handler. The slot is reclaimed before
+// the handler runs, so a handler cancelling its own in-flight ID sees a
+// stale generation and reports false — the historical cancel-after-pop
+// contract.
+func (e *Engine) fire(idx int32) {
+	ev := &e.events[idx]
+	at, fn, class := ev.at, ev.fn, ev.class
+	if at < e.now {
+		panic(fmt.Sprintf("sim: invariant violated: event %q at %v fires before now %v (time moved backwards)", e.ClassName(class), at, e.now))
+	}
+	e.dispatchPos++
+	e.liveCount--
+	e.liveFinite--
+	e.reclaim(idx)
+	e.now = at
+	e.fired++
+	if e.hook == nil && !e.profiling {
+		fn(at)
+		return
+	}
+	start := time.Now()
+	fn(at)
+	wall := time.Since(start)
+	if e.profiling {
+		ci := &e.classes[class]
+		ci.fired++
+		ci.wallNS += wall.Nanoseconds()
+	}
+	if e.hook != nil {
+		e.hook.EventDone(class, at, wall)
+	}
 }
 
 // Run executes events until the queue drains or the next event would occur
@@ -317,17 +263,12 @@ func (e *Engine) Step() bool {
 // contrast, stays a panic — that is a causality bug, not a clamp.)
 func (e *Engine) Run(deadline Time) uint64 {
 	var n uint64
-	for len(e.queue) > 0 {
-		// Peek; skip dead events.
-		ev := e.queue[0]
-		if ev.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if ev.at > deadline || ev.at == Forever {
+	for {
+		idx, ok := e.nextLive()
+		if !ok || e.events[idx].at > deadline {
 			break
 		}
-		e.Step()
+		e.fire(idx)
 		n++
 	}
 	if deadline != Forever && e.now < deadline {
@@ -349,11 +290,9 @@ func (e *Engine) AdvanceTo(at Time) {
 	if at < e.now {
 		return
 	}
-	for len(e.queue) > 0 && e.queue[0].dead {
-		heap.Pop(&e.queue)
-	}
-	if len(e.queue) > 0 && e.queue[0].at < at {
-		panic(fmt.Sprintf("sim: invariant violated: AdvanceTo(%v) would skip a pending %q event at %v", at, e.queue[0].class, e.queue[0].at))
+	if idx, ok := e.nextLive(); ok && e.events[idx].at < at {
+		ev := &e.events[idx]
+		panic(fmt.Sprintf("sim: invariant violated: AdvanceTo(%v) would skip a pending %q event at %v", at, e.ClassName(ev.class), ev.at))
 	}
 	e.now = at
 }

@@ -12,9 +12,9 @@ import (
 func TestEngineOrdersEventsByTime(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	e.Schedule(30, func(Time) { got = append(got, 3) })
-	e.Schedule(10, func(Time) { got = append(got, 1) })
-	e.Schedule(20, func(Time) { got = append(got, 2) })
+	e.Schedule(30, ClassDefault, func(Time) { got = append(got, 3) })
+	e.Schedule(10, ClassDefault, func(Time) { got = append(got, 1) })
+	e.Schedule(20, ClassDefault, func(Time) { got = append(got, 2) })
 	if n := e.RunAll(); n != 3 {
 		t.Fatalf("fired %d events, want 3", n)
 	}
@@ -34,7 +34,7 @@ func TestEngineFIFOAmongEqualTimes(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.Schedule(100, func(Time) { got = append(got, i) })
+		e.Schedule(100, ClassDefault, func(Time) { got = append(got, i) })
 	}
 	e.RunAll()
 	for i := range got {
@@ -47,9 +47,9 @@ func TestEngineFIFOAmongEqualTimes(t *testing.T) {
 func TestEngineScheduleFromHandler(t *testing.T) {
 	e := NewEngine()
 	var times []Time
-	e.Schedule(5, func(now Time) {
+	e.Schedule(5, ClassDefault, func(now Time) {
 		times = append(times, now)
-		e.After(7, func(now Time) { times = append(times, now) })
+		e.After(7, ClassDefault, func(now Time) { times = append(times, now) })
 	})
 	e.RunAll()
 	if len(times) != 2 || times[0] != 5 || times[1] != 12 {
@@ -60,9 +60,9 @@ func TestEngineScheduleFromHandler(t *testing.T) {
 func TestEngineRunDeadline(t *testing.T) {
 	e := NewEngine()
 	var fired int
-	e.Schedule(10, func(Time) { fired++ })
-	e.Schedule(20, func(Time) { fired++ })
-	e.Schedule(30, func(Time) { fired++ })
+	e.Schedule(10, ClassDefault, func(Time) { fired++ })
+	e.Schedule(20, ClassDefault, func(Time) { fired++ })
+	e.Schedule(30, ClassDefault, func(Time) { fired++ })
 	if n := e.Run(20); n != 2 {
 		t.Fatalf("fired %d by deadline 20, want 2", n)
 	}
@@ -87,9 +87,9 @@ func TestEngineRunDeadline(t *testing.T) {
 func TestEngineForeverSentinelNeverFires(t *testing.T) {
 	e := NewEngine()
 	var sentinelFired bool
-	id := e.Schedule(Forever, func(Time) { sentinelFired = true })
+	id := e.Schedule(Forever, ClassDefault, func(Time) { sentinelFired = true })
 	var fired int
-	e.Schedule(10, func(Time) { fired++ })
+	e.Schedule(10, ClassDefault, func(Time) { fired++ })
 	e.RunAll()
 	if sentinelFired {
 		t.Fatal("event at Forever fired during RunAll")
@@ -114,7 +114,7 @@ func TestEngineForeverSentinelNeverFires(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	var fired bool
-	id := e.Schedule(10, func(Time) { fired = true })
+	id := e.Schedule(10, ClassDefault, func(Time) { fired = true })
 	if !e.Cancel(id) {
 		t.Fatal("Cancel returned false for pending event")
 	}
@@ -133,7 +133,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelAfterFire(t *testing.T) {
 	e := NewEngine()
 	var fired int
-	id := e.Schedule(10, func(Time) { fired++ })
+	id := e.Schedule(10, ClassDefault, func(Time) { fired++ })
 	e.RunAll()
 	if fired != 1 {
 		t.Fatalf("fired = %d, want 1", fired)
@@ -157,7 +157,7 @@ func TestEngineCancelFromSameTimestampHandler(t *testing.T) {
 	e := NewEngine()
 	var order []string
 	var firstID, secondID EventID
-	firstID = e.Schedule(50, func(Time) {
+	firstID = e.Schedule(50, ClassDefault, func(Time) {
 		order = append(order, "first")
 		if e.Cancel(firstID) {
 			t.Error("handler cancelled itself after popping")
@@ -166,8 +166,8 @@ func TestEngineCancelFromSameTimestampHandler(t *testing.T) {
 			t.Error("could not cancel a same-timestamp event still queued")
 		}
 	})
-	secondID = e.Schedule(50, func(Time) { order = append(order, "second") })
-	e.Schedule(50, func(Time) { order = append(order, "third") })
+	secondID = e.Schedule(50, ClassDefault, func(Time) { order = append(order, "second") })
+	e.Schedule(50, ClassDefault, func(Time) { order = append(order, "third") })
 	e.RunAll()
 	// FIFO among equal timestamps, minus the cancelled middle event.
 	if len(order) != 2 || order[0] != "first" || order[1] != "third" {
@@ -185,8 +185,8 @@ func TestEngineDrained(t *testing.T) {
 	if !e.Drained() {
 		t.Error("fresh engine not Drained")
 	}
-	id1 := e.Schedule(10, func(Time) {})
-	e.Schedule(20, func(Time) {})
+	id1 := e.Schedule(10, ClassDefault, func(Time) {})
+	e.Schedule(20, ClassDefault, func(Time) {})
 	if e.Drained() {
 		t.Error("Drained with live events queued")
 	}
@@ -199,7 +199,7 @@ func TestEngineDrained(t *testing.T) {
 		t.Error("not Drained after running all live events")
 	}
 	// A cancelled-but-unreaped event: Pending counts it, Drained ignores it.
-	id3 := e.Schedule(30, func(Time) {})
+	id3 := e.Schedule(30, ClassDefault, func(Time) {})
 	e.Cancel(id3)
 	if e.Pending() != 1 {
 		t.Errorf("Pending = %d, want 1 (lazy reap)", e.Pending())
@@ -214,14 +214,14 @@ func TestEngineDrained(t *testing.T) {
 
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := NewEngine()
-	e.Schedule(100, func(Time) {})
+	e.Schedule(100, ClassDefault, func(Time) {})
 	e.RunAll()
 	defer func() {
 		if recover() == nil {
 			t.Error("scheduling in the past did not panic")
 		}
 	}()
-	e.Schedule(50, func(Time) {})
+	e.Schedule(50, ClassDefault, func(Time) {})
 }
 
 func TestEngineAdvanceTo(t *testing.T) {
@@ -230,7 +230,7 @@ func TestEngineAdvanceTo(t *testing.T) {
 	if e.Now() != 500 {
 		t.Fatalf("Now = %v, want 500", e.Now())
 	}
-	e.Schedule(600, func(Time) {})
+	e.Schedule(600, ClassDefault, func(Time) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("AdvanceTo skipping pending events did not panic")
@@ -315,7 +315,7 @@ func TestEngineFiringOrderProperty(t *testing.T) {
 		e := NewEngine()
 		var fired []Time
 		for _, off := range offsets {
-			e.Schedule(Time(off), func(now Time) { fired = append(fired, now) })
+			e.Schedule(Time(off), ClassDefault, func(now Time) { fired = append(fired, now) })
 		}
 		e.RunAll()
 		if len(fired) != len(offsets) {
@@ -408,7 +408,7 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		for j := 0; j < 1000; j++ {
-			e.Schedule(Time(j%97), func(Time) {})
+			e.Schedule(Time(j%97), ClassDefault, func(Time) {})
 		}
 		e.RunAll()
 	}
@@ -416,11 +416,11 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 
 // testHook records EventDone callbacks for the profiling-hook tests.
 type testHook struct {
-	classes []string
+	classes []Class
 	wallOK  bool
 }
 
-func (h *testHook) EventDone(class string, _ Time, wall time.Duration) {
+func (h *testHook) EventDone(class Class, _ Time, wall time.Duration) {
 	h.classes = append(h.classes, class)
 	if wall >= 0 {
 		h.wallOK = true
@@ -431,11 +431,13 @@ func TestHookObservesClassesAndWall(t *testing.T) {
 	e := NewEngine()
 	h := &testHook{}
 	e.SetHook(h)
-	e.ScheduleNamed("ras.fault", 10, func(Time) {})
-	e.Schedule(5, func(Time) {})
-	e.ScheduleNamed("telemetry.sample", 20, func(Time) {})
+	fault := e.Class("ras.fault")
+	sample := e.Class("telemetry.sample")
+	e.Schedule(10, fault, func(Time) {})
+	e.Schedule(5, ClassDefault, func(Time) {})
+	e.Schedule(20, sample, func(Time) {})
 	e.RunAll()
-	want := []string{DefaultClass, "ras.fault", "telemetry.sample"}
+	want := []Class{ClassDefault, fault, sample}
 	if len(h.classes) != len(want) {
 		t.Fatalf("hook saw %v, want %v", h.classes, want)
 	}
@@ -447,17 +449,98 @@ func TestHookObservesClassesAndWall(t *testing.T) {
 	if !h.wallOK {
 		t.Error("hook never saw a wall duration")
 	}
+	if got := e.ClassName(fault); got != "ras.fault" {
+		t.Errorf("ClassName(fault) = %q", got)
+	}
 }
 
 func TestHookRemovable(t *testing.T) {
 	e := NewEngine()
 	h := &testHook{}
 	e.SetHook(h)
-	e.Schedule(1, func(Time) {})
+	e.Schedule(1, ClassDefault, func(Time) {})
 	e.SetHook(nil)
 	e.RunAll()
 	if len(h.classes) != 0 {
 		t.Errorf("removed hook still observed %v", h.classes)
+	}
+}
+
+// namedTestHook exercises the deprecated string-keyed observer seam.
+type namedTestHook struct{ classes []string }
+
+func (h *namedTestHook) EventDone(class string, _ Time, _ time.Duration) {
+	h.classes = append(h.classes, class)
+}
+
+func TestDeprecatedNamedHookResolvesClassNames(t *testing.T) {
+	e := NewEngine()
+	h := &namedTestHook{}
+	e.AddNamedHook(h)
+	e.ScheduleNamed("ras.fault", 10, func(Time) {})
+	e.Schedule(5, ClassDefault, func(Time) {})
+	e.RunAll()
+	want := []string{DefaultClass, "ras.fault"}
+	if len(h.classes) != len(want) || h.classes[0] != want[0] || h.classes[1] != want[1] {
+		t.Fatalf("named hook saw %v, want %v", h.classes, want)
+	}
+}
+
+func TestClassInterningIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	a := e.Class("hbm.access")
+	b := e.Class("hbm.access")
+	if a != b {
+		t.Fatalf("interning twice gave %d and %d", a, b)
+	}
+	if a == ClassDefault {
+		t.Fatal("fresh class collided with ClassDefault")
+	}
+	if e.ClassName(ClassDefault) != DefaultClass {
+		t.Errorf("ClassName(ClassDefault) = %q", e.ClassName(ClassDefault))
+	}
+	if e.ClassName(Class(99)) != "?" {
+		t.Errorf("unknown handle resolved to %q", e.ClassName(Class(99)))
+	}
+}
+
+func TestScheduleUnknownClassPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule with a foreign Class handle did not panic")
+		}
+	}()
+	e.Schedule(10, Class(7), func(Time) {})
+}
+
+func TestProfileSnapshotAggregates(t *testing.T) {
+	e := NewEngine()
+	fault := e.Class("ras.fault")
+	e.EnableProfiling()
+	e.Schedule(10, fault, func(Time) {})
+	e.Schedule(20, fault, func(Time) {})
+	e.Schedule(30, ClassDefault, func(Time) {})
+	e.RunAll()
+	snap := e.ProfileSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d classes, want 2: %+v", len(snap), snap)
+	}
+	// Sorted by name: "event" < "ras.fault".
+	if snap[0].Name != DefaultClass || snap[0].Fired != 1 {
+		t.Errorf("snap[0] = %+v, want event×1", snap[0])
+	}
+	if snap[1].Name != "ras.fault" || snap[1].Fired != 2 {
+		t.Errorf("snap[1] = %+v, want ras.fault×2", snap[1])
+	}
+}
+
+func TestProfilingOffCollectsNothing(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, ClassDefault, func(Time) {})
+	e.RunAll()
+	if snap := e.ProfileSnapshot(); len(snap) != 0 {
+		t.Errorf("unprofiled engine snapshot = %+v, want empty", snap)
 	}
 }
 
@@ -468,7 +551,7 @@ func TestQueueHighWater(t *testing.T) {
 	}
 	var ids []EventID
 	for i := 0; i < 5; i++ {
-		ids = append(ids, e.Schedule(Time(i+1), func(Time) {}))
+		ids = append(ids, e.Schedule(Time(i+1), ClassDefault, func(Time) {}))
 	}
 	e.Cancel(ids[4])
 	e.RunAll()
@@ -476,7 +559,7 @@ func TestQueueHighWater(t *testing.T) {
 		t.Errorf("high water = %d, want 5 (cancelled events count until reaped)", e.QueueHighWater())
 	}
 	// Draining does not lower the mark.
-	e.Schedule(e.Now()+1, func(Time) {})
+	e.Schedule(e.Now()+1, ClassDefault, func(Time) {})
 	if e.QueueHighWater() != 5 {
 		t.Errorf("high water dropped to %d", e.QueueHighWater())
 	}
@@ -506,12 +589,12 @@ func TestAfterNegativeDelayPanics(t *testing.T) {
 	// After used to clamp negative delays to "now", silently reordering
 	// causality; it must now panic like any past-scheduling attempt.
 	e := NewEngine()
-	e.Schedule(100, func(Time) {})
+	e.Schedule(100, ClassDefault, func(Time) {})
 	e.RunAll()
 	defer func() {
 		if recover() == nil {
 			t.Error("After with a negative delay did not panic")
 		}
 	}()
-	e.After(-10, func(Time) {})
+	e.After(-10, ClassDefault, func(Time) {})
 }

@@ -118,8 +118,10 @@ func (w *Watchdog) Install(eng *Engine) {
 }
 
 // EventDone implements Hook: after every fired event it checks the three
-// bounds and panics with a *WatchdogTrip on the first violation.
-func (w *Watchdog) EventDone(class string, at Time, wall time.Duration) {
+// bounds and panics with a *WatchdogTrip on the first violation. The
+// class handle is resolved to a name only on the trip path, so the
+// per-event cost stays integer-only.
+func (w *Watchdog) EventDone(class Class, at Time, wall time.Duration) {
 	w.events++
 	if at > w.lastAt {
 		w.lastAt = at
@@ -142,6 +144,6 @@ func (w *Watchdog) EventDone(class string, at Time, wall time.Duration) {
 	}
 }
 
-func (w *Watchdog) trip(reason, class string, at Time, detail string) {
-	panic(&WatchdogTrip{Reason: reason, Class: class, At: at, Events: w.events, Detail: detail})
+func (w *Watchdog) trip(reason string, class Class, at Time, detail string) {
+	panic(&WatchdogTrip{Reason: reason, Class: w.eng.ClassName(class), At: at, Events: w.events, Detail: detail})
 }

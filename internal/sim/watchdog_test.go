@@ -126,7 +126,7 @@ func TestWatchdogQuietOnHealthyRun(t *testing.T) {
 func TestWatchdogComposesWithOtherHooks(t *testing.T) {
 	eng := NewEngine()
 	var seen int
-	eng.AddHook(hookFunc(func(string, Time, time.Duration) { seen++ }))
+	eng.AddHook(hookFunc(func(Class, Time, time.Duration) { seen++ }))
 	NewWatchdog(WatchdogConfig{EventBudget: 50}).Install(eng)
 
 	eng.ScheduleNamed("tick", 1, func(Time) {})
@@ -137,6 +137,6 @@ func TestWatchdogComposesWithOtherHooks(t *testing.T) {
 }
 
 // hookFunc adapts a func to the Hook interface for tests.
-type hookFunc func(class string, at Time, wall time.Duration)
+type hookFunc func(class Class, at Time, wall time.Duration)
 
-func (f hookFunc) EventDone(class string, at Time, wall time.Duration) { f(class, at, wall) }
+func (f hookFunc) EventDone(class Class, at Time, wall time.Duration) { f(class, at, wall) }

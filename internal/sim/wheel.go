@@ -1,0 +1,468 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a two-tier calendar: a timing wheel of FIFO buckets
+// covering a near-future window, an index min-heap holding far-future
+// overflow, and a plain FIFO slice for Forever sentinels (which never
+// fire and therefore never belong in either time-ordered tier).
+//
+// Events live by value in a slot arena (Engine.events) threaded with a
+// free list, so steady-state scheduling recycles slots instead of
+// allocating. An EventID is (slot index, generation); the generation
+// bumps every time a slot is reclaimed, which makes stale IDs — cancels
+// after the event fired, double cancels — detectably dead.
+//
+// Ordering contract: events fire in strictly ascending (at, seq) order,
+// where seq is the global schedule counter. That is exactly the old
+// binary heap's order — FIFO among equal timestamps — and the
+// differential test pins the two implementations against each other.
+//
+// Structure invariants (between exported calls):
+//   - dispatch[dispatchPos:] holds every queued event with at < dispatchEnd,
+//     sorted ascending by (at, seq);
+//   - wheel buckets hold events with dispatchEnd <= at < windowEnd, where
+//     bucket index (at>>bucketShift)&wheelMask increases monotonically
+//     with at because wheelStart is aligned to the window span;
+//   - overflow holds events with at >= windowEnd, heap-ordered by (at, seq);
+//   - forever holds events with at == Forever, in schedule order.
+//
+// The wheel window only moves forward while events are pending; the rare
+// backward move (rewindWindow) happens when the clock is far behind a
+// previously jumped window and something schedules into the gap.
+
+const (
+	wheelBits   = 8                              // 256 buckets
+	wheelSize   = 1 << wheelBits                 // buckets per window
+	wheelMask   = wheelSize - 1                  //
+	bucketShift = 10                             // 1024 ps ≈ 1 ns per bucket
+	bucketWidth = Time(1) << bucketShift         //
+	windowSpan  = Time(wheelSize) << bucketShift // ~262 ns near-future window
+)
+
+// slot states. A slot is free (on the free list), queued (live in one of
+// the queue tiers), or dead (cancelled but not yet swept out of its tier).
+type slotState uint8
+
+const (
+	slotFree slotState = iota
+	slotQueued
+	slotDead
+)
+
+// event is one scheduled callback, stored by value in the arena.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    Handler
+	class Class
+	gen   uint32
+	state slotState
+}
+
+// alloc takes a slot off the free list, growing the arena only when the
+// list is empty (the arena never shrinks; its high-water mark is the
+// steady-state footprint).
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.events = append(e.events, event{})
+	return int32(len(e.events) - 1)
+}
+
+// reclaim returns a slot to the free list, dropping the handler reference
+// (so the engine never pins a closure past its event) and bumping the
+// generation so outstanding EventIDs for this slot go stale.
+func (e *Engine) reclaim(idx int32) {
+	ev := &e.events[idx]
+	ev.fn = nil
+	ev.state = slotFree
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
+// alignWindow returns the window start containing t: t rounded down to a
+// multiple of the window span. Alignment is what makes bucket indices
+// monotone in time within one window.
+func alignWindow(t Time) Time { return t &^ (windowSpan - 1) }
+
+// setWindow positions the wheel window at the span-aligned window
+// containing t and computes the (saturated) exclusive end.
+func (e *Engine) setWindow(t Time) {
+	e.wheelStart = alignWindow(t)
+	if e.wheelStart > Forever-windowSpan {
+		e.windowEnd = Forever
+	} else {
+		e.windowEnd = e.wheelStart + windowSpan
+	}
+}
+
+// place routes a newly scheduled (or re-homed) queued event into the
+// correct tier for its timestamp.
+func (e *Engine) place(idx int32) {
+	at := e.events[idx].at
+	switch {
+	case at == Forever:
+		e.forever = append(e.forever, idx)
+	case at < e.dispatchEnd:
+		e.insertDispatch(idx)
+	case at < e.wheelStart:
+		// The window jumped ahead of the clock and something scheduled
+		// into the gap; pull the window back so ordering holds.
+		e.rewindWindow(at)
+		e.bucketInsert(idx, at)
+	case at < e.windowEnd:
+		e.bucketInsert(idx, at)
+	default:
+		e.overflowPush(idx)
+	}
+}
+
+// bucketInsert appends the event to its wheel bucket (FIFO within the
+// bucket) and marks the bucket occupied.
+func (e *Engine) bucketInsert(idx int32, at Time) {
+	b := int(at>>bucketShift) & wheelMask
+	e.buckets[b] = append(e.buckets[b], idx)
+	e.occupied[b>>6] |= 1 << (b & 63)
+	e.nearCount++
+}
+
+// firstOccupied returns the lowest occupied bucket index. Callers ensure
+// nearCount > 0.
+func (e *Engine) firstOccupied() int {
+	for w, word := range e.occupied {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	panic("sim: invariant violated: nearCount > 0 with no occupied bucket")
+}
+
+// expireNextBucket moves the earliest non-empty bucket into the dispatch
+// buffer, sorts it by (at, seq), and advances dispatchEnd to the bucket's
+// end. This is the batch point: a burst of co-scheduled events pays one
+// bucket expiry and one (usually already-sorted) ordering pass, then
+// fires back-to-back straight out of the buffer.
+func (e *Engine) expireNextBucket() {
+	b := e.firstOccupied()
+	bucket := e.buckets[b]
+	e.dispatch = append(e.dispatch[:0], bucket...)
+	e.dispatchPos = 0
+	e.buckets[b] = bucket[:0]
+	e.occupied[b>>6] &^= 1 << (b & 63)
+	e.nearCount -= len(e.dispatch)
+	bucketEnd := e.wheelStart + Time(b+1)<<bucketShift
+	if bucketEnd > e.windowEnd {
+		bucketEnd = e.windowEnd
+	}
+	e.dispatchEnd = bucketEnd
+	e.sortIndices(e.dispatch)
+}
+
+// insertDispatch places an event into the (already sorted) live dispatch
+// buffer. The common case — a handler scheduling at or after the instant
+// being dispatched, necessarily with the highest seq — appends at the
+// end; the general case binary-searches for the (at, seq) position.
+func (e *Engine) insertDispatch(idx int32) {
+	ev := &e.events[idx]
+	s := e.dispatch
+	lo, hi := e.dispatchPos, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &e.events[s[mid]]
+		if m.at < ev.at || (m.at == ev.at && m.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.dispatch = append(s, 0)
+	copy(e.dispatch[lo+1:], e.dispatch[lo:])
+	e.dispatch[lo] = idx
+}
+
+// compactDispatch drops the consumed prefix of the dispatch buffer when
+// it dominates the slice, bounding the buffer's memory at ~2× its live
+// tail even across very long same-instant cascades.
+func (e *Engine) compactDispatch() {
+	if e.dispatchPos < 1024 || e.dispatchPos*2 < len(e.dispatch) {
+		return
+	}
+	n := copy(e.dispatch, e.dispatch[e.dispatchPos:])
+	e.dispatch = e.dispatch[:n]
+	e.dispatchPos = 0
+}
+
+// jumpWindow advances the empty wheel to the window containing the
+// earliest overflow event and drains every overflow event inside the new
+// window into buckets. Callers ensure the dispatch buffer and wheel are
+// empty and overflow is not.
+func (e *Engine) jumpWindow() {
+	e.setWindow(e.events[e.overflow[0]].at)
+	e.drainOverflow()
+}
+
+// rewindWindow moves the window back to contain at (< wheelStart): every
+// bucketed event returns to overflow, the window re-anchors, and overflow
+// events inside the new window come back down. Only reachable when the
+// window jumped ahead of a clock that then scheduled into the gap, so
+// the cost (touching the handful of queued far events twice) is off the
+// steady-state path.
+func (e *Engine) rewindWindow(at Time) {
+	if e.nearCount > 0 {
+		for b := range e.buckets {
+			for _, idx := range e.buckets[b] {
+				e.overflowPush(idx)
+			}
+			e.buckets[b] = e.buckets[b][:0]
+		}
+		for w := range e.occupied {
+			e.occupied[w] = 0
+		}
+		e.nearCount = 0
+	}
+	e.setWindow(at)
+	e.drainOverflow()
+}
+
+// drainOverflow pops every overflow event that now falls inside the
+// window down into its bucket.
+func (e *Engine) drainOverflow() {
+	for len(e.overflow) > 0 {
+		top := e.overflow[0]
+		at := e.events[top].at
+		if at >= e.windowEnd {
+			return
+		}
+		e.overflowPop()
+		e.bucketInsert(top, at)
+	}
+}
+
+// eventLess orders two arena slots by (at, seq) — the engine's total
+// firing order (seq is unique, so this is a strict total order).
+func (e *Engine) eventLess(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// overflowPush adds a slot to the far-future min-heap.
+func (e *Engine) overflowPush(idx int32) {
+	e.overflow = append(e.overflow, idx)
+	e.overflowSiftUp(len(e.overflow) - 1)
+}
+
+// overflowPop removes the heap minimum.
+func (e *Engine) overflowPop() int32 {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.overflow = h[:n]
+	if n > 0 {
+		e.overflowSiftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) overflowSiftUp(i int) {
+	h := e.overflow
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.eventLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) overflowSiftDown(i int) {
+	h := e.overflow
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && e.eventLess(h[r], h[l]) {
+			least = r
+		}
+		if !e.eventLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// overflowHeapify restores the heap property after a purge filtered the
+// backing slice in place.
+func (e *Engine) overflowHeapify() {
+	for i := len(e.overflow)/2 - 1; i >= 0; i-- {
+		e.overflowSiftDown(i)
+	}
+}
+
+// sortIndices orders a slice of arena slots by (at, seq) without
+// allocating. Buckets arrive in seq order, so a same-instant burst — the
+// batch-dispatch case — is already sorted and costs one linear scan; the
+// mixed case falls back to an insertion/quicksort hybrid.
+func (e *Engine) sortIndices(s []int32) {
+	sorted := true
+	for i := 1; i < len(s); i++ {
+		if e.eventLess(s[i], s[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	e.quickSort(s)
+}
+
+func (e *Engine) quickSort(s []int32) {
+	for len(s) > 12 {
+		// Median-of-three pivot, moved to the end.
+		mid := len(s) / 2
+		hi := len(s) - 1
+		if e.eventLess(s[mid], s[0]) {
+			s[mid], s[0] = s[0], s[mid]
+		}
+		if e.eventLess(s[hi], s[0]) {
+			s[hi], s[0] = s[0], s[hi]
+		}
+		if e.eventLess(s[hi], s[mid]) {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[mid], s[hi] = s[hi], s[mid]
+		pivot := s[hi]
+		i := 0
+		for j := 0; j < hi; j++ {
+			if e.eventLess(s[j], pivot) {
+				s[i], s[j] = s[j], s[i]
+				i++
+			}
+		}
+		s[i], s[hi] = s[hi], s[i]
+		// Recurse into the smaller half, loop on the larger.
+		if i < len(s)-i-1 {
+			e.quickSort(s[:i])
+			s = s[i+1:]
+		} else {
+			e.quickSort(s[i+1:])
+			s = s[:i]
+		}
+	}
+	// Insertion sort for small runs.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && e.eventLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// purgeThreshold is the dead-slot count above which Cancel triggers a
+// full sweep (provided dead slots also outnumber live ones). Keeping a
+// small lazy margin preserves the historical "cancelled events linger in
+// Pending until reaped" observability without letting a schedule/cancel
+// loop grow memory: queued storage is bounded at ~2× the live set.
+const purgeThreshold = 64
+
+// maybePurge sweeps every tier, reclaiming dead slots, once they
+// dominate. Relative order of the survivors is preserved in the FIFO
+// tiers and the heap is rebuilt, so firing order is unaffected.
+func (e *Engine) maybePurge() {
+	if e.deadCount < purgeThreshold || e.deadCount <= e.liveCount {
+		return
+	}
+	keep := func(s []int32) []int32 {
+		out := s[:0]
+		for _, idx := range s {
+			if e.events[idx].state == slotDead {
+				e.reclaim(idx)
+			} else {
+				out = append(out, idx)
+			}
+		}
+		return out
+	}
+	// Dispatch buffer: filter the unconsumed tail in place.
+	tail := keep(e.dispatch[e.dispatchPos:])
+	n := copy(e.dispatch, tail)
+	e.dispatch = e.dispatch[:n]
+	e.dispatchPos = 0
+	// Wheel buckets: filter each occupied bucket, fixing the bitmap.
+	if e.nearCount > 0 {
+		e.nearCount = 0
+		for b := range e.buckets {
+			if len(e.buckets[b]) == 0 {
+				continue
+			}
+			e.buckets[b] = keep(e.buckets[b])
+			if len(e.buckets[b]) == 0 {
+				e.occupied[b>>6] &^= 1 << (b & 63)
+			}
+			e.nearCount += len(e.buckets[b])
+		}
+	}
+	// Overflow: filter, then restore the heap property.
+	e.overflow = keep(e.overflow)
+	e.overflowHeapify()
+	// Forever sentinels are reclaimed eagerly on Cancel and are never
+	// dead here; keep the sweep anyway so the invariant is local.
+	e.forever = keep(e.forever)
+	e.deadCount = 0
+}
+
+// cancelForever eagerly removes a cancelled Forever sentinel from the
+// sentinel list (order-preserving). Sentinels never reach a pop path, so
+// lazy reclamation would leak them; the list is tiny (one or two
+// sentinels per run), so the linear scan is free.
+func (e *Engine) cancelForever(idx int32) {
+	for i, f := range e.forever {
+		if f == idx {
+			e.forever = append(e.forever[:i], e.forever[i+1:]...)
+			e.reclaim(idx)
+			return
+		}
+	}
+	panic("sim: invariant violated: cancelled Forever event not in sentinel list")
+}
+
+// nextLive makes the earliest live queued finite event the head of the
+// dispatch buffer and returns its slot, reclaiming any dead events it
+// passes over. It returns false when no finite events remain (Forever
+// sentinels do not count: they never fire).
+func (e *Engine) nextLive() (int32, bool) {
+	for {
+		for e.dispatchPos < len(e.dispatch) {
+			idx := e.dispatch[e.dispatchPos]
+			if e.events[idx].state == slotDead {
+				e.dispatchPos++
+				e.deadCount--
+				e.reclaim(idx)
+				continue
+			}
+			e.compactDispatch()
+			return idx, true
+		}
+		e.dispatch = e.dispatch[:0]
+		e.dispatchPos = 0
+		if e.nearCount == 0 {
+			if len(e.overflow) == 0 {
+				return 0, false
+			}
+			e.jumpWindow()
+		}
+		e.expireNextBucket()
+	}
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Differential test: the timing-wheel queue vs a trivially-correct
+// reference engine.
+//
+// The reference implementation is the spec made executable: a flat slice
+// of events popped by linear minimum scan over (at, seq). It is obviously
+// correct and obviously slow. The same randomized workload program runs
+// against both engines; any divergence in firing order — across bucket
+// boundaries, window jumps, rewinds, equal-timestamp bursts, overflow
+// promotion, or cancel interleavings — shows up as a trace mismatch.
+// ---------------------------------------------------------------------------
+
+// scheduler is the minimal surface the differential driver needs; both
+// the real Engine and the reference engine implement it.
+type scheduler interface {
+	schedule(at Time, fn func(Time)) (cancel func() bool)
+	now() Time
+	runAll()
+}
+
+// wheelSched adapts *Engine.
+type wheelSched struct{ e *Engine }
+
+func (w wheelSched) schedule(at Time, fn func(Time)) func() bool {
+	id := w.e.Schedule(at, ClassDefault, fn)
+	return func() bool { return w.e.Cancel(id) }
+}
+func (w wheelSched) now() Time { return w.e.Now() }
+func (w wheelSched) runAll()   { w.e.RunAll() }
+
+// refEvent / refEngine: the executable spec.
+type refEvent struct {
+	at        Time
+	seq       uint64
+	fn        func(Time)
+	cancelled bool
+	fired     bool
+}
+
+type refEngine struct {
+	clock  Time
+	seq    uint64
+	events []*refEvent
+}
+
+func (r *refEngine) schedule(at Time, fn func(Time)) func() bool {
+	if at < r.clock {
+		panic(fmt.Sprintf("ref: scheduling at %v before now %v", at, r.clock))
+	}
+	r.seq++
+	ev := &refEvent{at: at, seq: r.seq, fn: fn}
+	r.events = append(r.events, ev)
+	return func() bool {
+		if ev.cancelled || ev.fired {
+			return false
+		}
+		ev.cancelled = true
+		return true
+	}
+}
+
+func (r *refEngine) now() Time { return r.clock }
+
+func (r *refEngine) runAll() {
+	for {
+		var best *refEvent
+		for _, ev := range r.events {
+			if ev.cancelled || ev.fired || ev.at == Forever {
+				continue
+			}
+			if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best = ev
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.fired = true
+		r.clock = best.at
+		best.fn(best.at)
+	}
+}
+
+// runWorkload executes one deterministic randomized workload program on s
+// and returns the firing trace. Every random draw is keyed to the event's
+// own label-forked stream, so the program is a pure function of the seed
+// and the scheduler's firing order — identical engines produce identical
+// traces; divergent engines diverge visibly.
+func runWorkload(s scheduler, seed uint64, roots, depth int) []string {
+	var trace []string
+	var cancels []func() bool
+	root := NewRNG(seed)
+
+	var spawn func(label string, d int) func(Time)
+	spawn = func(label string, d int) func(Time) {
+		rng := NewRNG(seed).Fork(hashLabel(label))
+		return func(now Time) {
+			trace = append(trace, fmt.Sprintf("%s@%d", label, now))
+			if d <= 0 {
+				return
+			}
+			kids := rng.Intn(3)
+			for k := 0; k < kids; k++ {
+				var delta Time
+				switch rng.Intn(5) {
+				case 0:
+					delta = 0 // same-instant cascade: FIFO among equals
+				case 1:
+					delta = Time(rng.Intn(int(bucketWidth))) // same bucket
+				case 2:
+					delta = Time(rng.Intn(int(windowSpan))) // within the window
+				case 3:
+					delta = windowSpan + Time(rng.Intn(int(8*windowSpan))) // overflow tier
+				case 4:
+					delta = Time(rng.Intn(64)) // dense near-future collisions
+				}
+				child := fmt.Sprintf("%s.%d", label, k)
+				cancels = append(cancels, s.schedule(now+delta, spawn(child, d-1)))
+			}
+			// Cancel a previously issued handle (possibly already fired,
+			// possibly our own descendant, possibly a far-future event).
+			if len(cancels) > 0 && rng.Intn(3) == 0 {
+				cancels[rng.Intn(len(cancels))]()
+			}
+		}
+	}
+
+	for i := 0; i < roots; i++ {
+		at := Time(root.Intn(int(4 * windowSpan)))
+		cancels = append(cancels, s.schedule(at, spawn(fmt.Sprintf("r%d", i), depth)))
+	}
+	// A couple of Forever sentinels: they must never fire, and one gets
+	// cancelled mid-setup.
+	c := s.schedule(Forever, func(Time) { trace = append(trace, "forever-fired!") })
+	s.schedule(Forever, func(Time) { trace = append(trace, "forever-fired!") })
+	c()
+	s.runAll()
+	return trace
+}
+
+// hashLabel derives a stable fork key from an event label (FNV-1a).
+func hashLabel(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestWheelMatchesReferenceEngine(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		got := runWorkload(wheelSched{NewEngine()}, seed, 8, 4)
+		want := runWorkload(&refEngine{}, seed, 8, 4)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: wheel fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges at event %d: wheel %q, reference %q", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWheelEqualTimestampFIFO pins the determinism contract directly:
+// events at one instant fire in schedule order, even when they arrive
+// interleaved with other instants and from inside handlers.
+func TestWheelEqualTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	const at = 5 * Microsecond
+	for i := 0; i < 500; i++ {
+		i := i
+		e.Schedule(at, ClassDefault, func(Time) { order = append(order, i) })
+		// Interleave a different instant so the bucket holds a mix.
+		e.Schedule(at+Nanosecond, ClassDefault, func(Time) {})
+	}
+	// Same-instant events scheduled from a handler fire after all earlier
+	// ones at that instant, still in schedule order.
+	e.Schedule(at, ClassDefault, func(now Time) {
+		e.Schedule(now, ClassDefault, func(Time) { order = append(order, 1000) })
+	})
+	e.RunAll()
+	if len(order) != 501 {
+		t.Fatalf("fired %d ordered events, want 501", len(order))
+	}
+	for i := 0; i < 500; i++ {
+		if order[i] != i {
+			t.Fatalf("order[%d] = %d, want %d", i, order[i], i)
+		}
+	}
+	if order[500] != 1000 {
+		t.Fatalf("in-handler same-instant event fired at position %d", order[500])
+	}
+}
+
+// TestWheelWindowJumpAndRewind forces the idle-window-jump-then-rewind
+// path: drain the wheel, let it jump to a far window, then schedule into
+// the gap between the clock and the jumped window.
+func TestWheelWindowJumpAndRewind(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	record := func(now Time) { order = append(order, now) }
+	far := 100 * windowSpan
+	e.Schedule(far, ClassDefault, record)
+	e.Schedule(1, ClassDefault, record)
+	e.Run(1) // fires the near event; wheel may now jump to the far window
+	// Schedule into the gap — earlier than the far event, later than now.
+	e.Schedule(50*windowSpan, ClassDefault, record)
+	e.Schedule(2, ClassDefault, record)
+	e.RunAll()
+	want := []Time{1, 2, 50 * windowSpan, far}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation guards: the redesign's whole point.
+// ---------------------------------------------------------------------------
+
+// TestSteadyStateScheduleZeroAllocs pins 0 allocs/op for the canonical
+// hot path: a handler rescheduling itself a few ns out, one Step per op.
+func TestSteadyStateScheduleZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	cls := e.Class("bench.tick")
+	var fn Handler
+	fn = func(now Time) { e.Schedule(now+10, cls, fn) }
+	e.Schedule(0, cls, fn)
+	for i := 0; i < 4096; i++ { // warm the arena, dispatch buffer, free list
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(2000, func() { e.Step() })
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestScheduleCancelZeroAllocs pins 0 allocs/op for a schedule-then-cancel
+// round trip once the arena is warm.
+func TestScheduleCancelZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	cls := e.Class("bench.cancel")
+	fn := func(Time) {}
+	for i := 0; i < 4096; i++ {
+		e.Cancel(e.Schedule(e.Now()+1000, cls, fn))
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		e.Cancel(e.Schedule(e.Now()+1000, cls, fn))
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestCancelledEventsDoNotRetainMemory pins the retention fix: a
+// schedule/cancel loop must recycle slots instead of growing the arena,
+// even with a standing population of live events. The historical bug kept
+// every cancelled event queued until its timestamp was reached.
+func TestCancelledEventsDoNotRetainMemory(t *testing.T) {
+	e := NewEngine()
+	cls := e.Class("churn")
+	fn := func(Time) {}
+	// Standing live population, far in the future.
+	for i := 0; i < 32; i++ {
+		e.Schedule(10*Millisecond+Time(i), cls, fn)
+	}
+	for i := 0; i < 200_000; i++ {
+		e.Cancel(e.Schedule(e.Now()+Microsecond, cls, fn))
+	}
+	// Arena is bounded by live + purge threshold + a purge's worth of
+	// slack, nowhere near the 200k churned events.
+	if got := len(e.events); got > 256 {
+		t.Errorf("arena grew to %d slots after 200k schedule/cancel churn, want bounded (<= 256)", got)
+	}
+	if e.Pending() > 32+purgeThreshold+1 {
+		t.Errorf("Pending = %d after churn, want <= live 32 + lazy margin %d", e.Pending(), purgeThreshold+1)
+	}
+	// The survivors still fire.
+	if fired := e.RunAll(); fired != 32 {
+		t.Errorf("survivors fired = %d, want 32", fired)
+	}
+}
+
+// TestCancelSelfInsideHandler pins the cancel-after-pop contract: by the
+// time a handler runs, its own ID is stale.
+func TestCancelSelfInsideHandler(t *testing.T) {
+	e := NewEngine()
+	var id EventID
+	var got bool
+	id = e.Schedule(5, ClassDefault, func(Time) { got = e.Cancel(id) })
+	e.RunAll()
+	if got {
+		t.Error("handler cancelled its own in-flight event; Cancel should report false")
+	}
+	if e.Cancelled() != 0 {
+		t.Errorf("Cancelled = %d, want 0", e.Cancelled())
+	}
+}
+
+// TestEventIDZeroValueInert pins that the zero EventID never cancels
+// anything — including the first event ever scheduled on a fresh engine.
+func TestEventIDZeroValueInert(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(1, ClassDefault, func(Time) { fired = true })
+	if e.Cancel(EventID{}) {
+		t.Error("zero EventID cancelled something")
+	}
+	e.RunAll()
+	if !fired {
+		t.Error("first scheduled event never fired")
+	}
+}

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"sort"
-	"time"
 
 	"repro/internal/sim"
 )
@@ -19,35 +18,33 @@ type ClassStats struct {
 	WallNS int64 `json:"wall_ns"`
 }
 
-// EngineProfile implements sim.Hook: it attributes fired events and
-// handler wall time to handler classes (ScheduleNamed's class string;
-// sim.DefaultClass for plain Schedule calls).
+// EngineProfile is a view over an engine's per-class aggregate counters.
+//
+// It used to be a sim hook that received one string-keyed callback per
+// fired event; the engine now keeps per-class-ID counters itself (two
+// integer bumps per event, no callback, nothing while profiling is off —
+// so unprofiled runs still pay nothing), and this type reduces the
+// end-of-run ProfileSnapshot to the stable ClassStats shape the dump and
+// summary sinks embed.
 type EngineProfile struct {
-	classes map[string]*ClassStats
+	eng *sim.Engine
 }
 
-// NewEngineProfile returns an empty profile.
-func NewEngineProfile() *EngineProfile {
-	return &EngineProfile{classes: make(map[string]*ClassStats)}
-}
-
-// EventDone records one fired event. It is the sim.Hook callback.
-func (p *EngineProfile) EventDone(class string, _ sim.Time, wall time.Duration) {
-	c := p.classes[class]
-	if c == nil {
-		c = &ClassStats{Class: class}
-		p.classes[class] = c
-	}
-	c.Fired++
-	c.WallNS += wall.Nanoseconds()
+// NewEngineProfile enables aggregate per-class profiling on eng and
+// returns the view over its counters.
+func NewEngineProfile(eng *sim.Engine) *EngineProfile {
+	eng.EnableProfiling()
+	return &EngineProfile{eng: eng}
 }
 
 // Classes returns per-class stats sorted by class name, so profile output
-// is stable regardless of execution interleaving.
+// is stable regardless of execution interleaving. Only classes that fired
+// at least one event appear.
 func (p *EngineProfile) Classes() []ClassStats {
-	out := make([]ClassStats, 0, len(p.classes))
-	for _, c := range p.classes {
-		out = append(out, *c)
+	snap := p.eng.ProfileSnapshot()
+	out := make([]ClassStats, 0, len(snap))
+	for _, c := range snap {
+		out = append(out, ClassStats{Class: c.Name, Fired: c.Fired, WallNS: c.WallNS})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
 	return out

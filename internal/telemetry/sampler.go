@@ -50,10 +50,11 @@ func (s *Sampler) Arm(until sim.Time) int {
 		// programming bug, caught like scheduling in the past.
 		panic("telemetry: Arm(Forever) — samplers need a finite horizon")
 	}
+	cls := s.eng.Class(SampleClass)
 	first := (s.eng.Now() + s.every - 1) / s.every * s.every
 	n := 0
 	for t := first; t <= until && t >= first; t += s.every {
-		s.eng.ScheduleNamed(SampleClass, t, func(now sim.Time) { s.rec.Sample(now) })
+		s.eng.Schedule(t, cls, func(now sim.Time) { s.rec.Sample(now) })
 		n++
 	}
 	return n

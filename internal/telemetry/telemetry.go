@@ -210,16 +210,16 @@ func (r *Recorder) SetCadence(every sim.Time) {
 // Cadence reports the recorded sampling cadence (0 if never set).
 func (r *Recorder) Cadence() sim.Time { return r.cadence }
 
-// ObserveEngine attaches this recorder's engine profile as an engine
-// execution hook, so per-class fired counts, handler wall time, and the
+// ObserveEngine enables the engine's per-class aggregate profiling for
+// this recorder, so per-class fired counts, handler wall time, and the
 // queue-depth high-water mark land in the same store as the sampled
-// series. The profile chains behind any hook already installed (for
-// example the runtime watchdog) rather than replacing it.
+// series. Profiling is counter-based rather than hook-based, so it
+// coexists with any hooks already installed (for example the runtime
+// watchdog) without touching the hook chain.
 func (r *Recorder) ObserveEngine(eng *sim.Engine) {
 	if r.profile == nil {
-		r.profile = NewEngineProfile()
+		r.profile = NewEngineProfile(eng)
 	}
-	eng.AddHook(r.profile)
 	r.eng = eng
 }
 

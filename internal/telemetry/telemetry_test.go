@@ -97,7 +97,7 @@ func TestSamplerGridIsAbsolute(t *testing.T) {
 	eng := sim.NewEngine()
 	// Advance the engine off-grid so the first tick must snap up to the
 	// next absolute grid point, not drift to now+cadence.
-	eng.Schedule(30*sim.Microsecond, func(sim.Time) {})
+	eng.Schedule(30*sim.Microsecond, sim.ClassDefault, func(sim.Time) {})
 	eng.RunAll()
 
 	rec := NewRecorder()

@@ -18,6 +18,11 @@ import (
 type (
 	// Engine is the discrete-event engine a simulation runs on.
 	Engine = sim.Engine
+	// Class is an interned handler-class handle: resolve names once at
+	// setup with Engine.Class, pass the integer handle on the hot path.
+	Class = sim.Class
+	// EventID identifies a scheduled event for cancellation.
+	EventID = sim.EventID
 	// Recorder samples named component probes on a simulated-time grid.
 	Recorder = telemetry.Recorder
 	// Series is one probe's sampled value column.
@@ -89,6 +94,9 @@ const (
 	Microsecond = sim.Microsecond
 	Millisecond = sim.Millisecond
 )
+
+// ClassDefault is the pre-interned default handler class ("event").
+const ClassDefault = sim.ClassDefault
 
 // NewEngine returns a fresh discrete-event engine at time zero.
 func NewEngine() *Engine { return sim.NewEngine() }
