@@ -388,4 +388,145 @@ if ! wait "$apusimd_pid"; then
 fi
 grep -q "apusimd: recovery: requeued=2 interrupted=1 from_cache=0 completed=1 failed=0" "$tmp_apusimd_log2"
 
+echo "== apusimd observability smoke =="
+# The observability plane end to end: the job's trace ID must link its
+# JSON, its /trace span dump, and the flight recorder; /v1/debug must
+# expose workers and the flight recorder; the latency histograms must
+# record the run; structured JSON logs must carry the trace ID; and
+# pprof must be unreachable unless -debug-addr names a listener.
+tmp_obs_log=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8" "$tmp_audit_manifest" "$tmp_chaos1" "$tmp_chaos8" "$tmp_apusimd" "$tmp_apusimd_log" "$tmp_apusimd_log2" "$tmp_apusimd_m1" "$tmp_obs_log"; rm -rf "$tmp_apusimd_data"' EXIT
+
+# Pass 1: no -debug-addr — the API port must not serve pprof.
+"$tmp_apusimd" -listen 127.0.0.1:0 -log-format json 2>"$tmp_obs_log" &
+apusimd_pid=$!
+apusimd_addr=""
+for _ in $(seq 1 100); do
+    apusimd_addr=$(sed -n 's/^apusimd: listening on //p' "$tmp_obs_log")
+    [ -n "$apusimd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$apusimd_addr" ]; then
+    echo "ci.sh: apusimd (observability) never reported its listen address" >&2
+    cat "$tmp_obs_log" >&2
+    exit 1
+fi
+python3 - "$apusimd_addr" <<'EOF'
+import json, re, sys, time, urllib.error, urllib.request
+
+base = "http://" + sys.argv[1]
+
+def call(method, path, body=None):
+    req = urllib.request.Request(base + path, data=body, method=method)
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, resp.read()
+
+def await_terminal(job_id):
+    for _ in range(200):
+        _, body = call("GET", "/v1/jobs/" + job_id)
+        st = json.loads(body)
+        if st["state"] not in ("queued", "running"):
+            return st
+        time.sleep(0.05)
+    raise SystemExit("job %s never finished" % job_id)
+
+# A spans-recording experiment, so the trace view joins both halves.
+code, body = call("POST", "/v1/jobs", json.dumps({"experiment": "spanras", "spans": True}).encode())
+assert code == 202, (code, body)
+st = await_terminal(json.loads(body)["id"])
+assert st["state"] in ("ok", "degraded"), st  # the RAS storm degrades, deterministically
+trace_id = st["trace_id"]
+assert re.fullmatch(r"[0-9a-f]{16}", trace_id), st
+assert st["e2e_ns"] > 0 and st["run_ns"] > 0, st
+
+# The trace view carries the same ID on every lifecycle span and lifts
+# the simulation attribution out of the manifest.
+_, body = call("GET", "/v1/jobs/%s/trace" % st["id"])
+tr = json.loads(body)
+assert tr["schema"] == "apusimd-job-trace/v1", tr["schema"]
+assert tr["trace_id"] == trace_id, tr
+assert tr["lifecycle"]["schema"] == "apusim-spans/v1"
+spans = tr["lifecycle"]["spans"]
+assert spans and all(s["trace"] == trace_id for s in spans), spans
+assert any(s["kind"] == "job" for s in spans), spans
+sim = tr.get("simulation") or []
+assert any(e["experiment"] == "spanras" and e["attribution"] for e in sim), sim
+
+# /v1/debug: workers, queue bounds, and the flight recorder, with the
+# job's lifecycle events carrying its trace ID.
+_, body = call("GET", "/v1/debug")
+dbg = json.loads(body)
+assert dbg["schema"] == "apusimd-debug/v1", dbg["schema"]
+assert len(dbg["workers"]) >= 1 and dbg["queue_capacity"] >= 1, dbg
+events = {e["event"] for e in dbg["flight_recorder"] if e.get("job") == st["id"]}
+assert {"submit", "start", "finish"} <= events, events
+assert all(e["trace_id"] == trace_id
+           for e in dbg["flight_recorder"] if e.get("job") == st["id"])
+
+# The latency histograms recorded the run.
+_, metrics = call("GET", "/v1/metrics")
+samples = {}
+for line in metrics.decode().splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+assert samples['apusimd_job_e2e_seconds_count{experiment="spanras"}'] == 1, samples
+assert samples['apusimd_job_run_seconds_count{experiment="spanras"}'] == 1, samples
+assert samples['apusimd_job_e2e_seconds_bucket{experiment="spanras",le="+Inf"}'] == 1, samples
+
+# Without -debug-addr, pprof is nowhere: the API mux must 404 it.
+try:
+    call("GET", "/debug/pprof/")
+    raise SystemExit("pprof served on the API port without -debug-addr")
+except urllib.error.HTTPError as e:
+    assert e.code == 404, e.code
+EOF
+kill -TERM "$apusimd_pid"
+if ! wait "$apusimd_pid"; then
+    echo "ci.sh: apusimd (observability) exited nonzero on SIGTERM" >&2
+    cat "$tmp_obs_log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$tmp_obs_log"
+# The structured JSON log carries the trace-correlated lifecycle lines.
+grep -q '"msg":"job started"' "$tmp_obs_log"
+grep -q '"msg":"job finished"' "$tmp_obs_log"
+grep -q '"trace_id"' "$tmp_obs_log"
+
+# Pass 2: with -debug-addr, pprof serves on its own listener only.
+: >"$tmp_obs_log"
+"$tmp_apusimd" -listen 127.0.0.1:0 -debug-addr 127.0.0.1:0 2>"$tmp_obs_log" &
+apusimd_pid=$!
+apusimd_addr=""
+pprof_addr=""
+for _ in $(seq 1 100); do
+    apusimd_addr=$(sed -n 's/^apusimd: listening on //p' "$tmp_obs_log")
+    pprof_addr=$(sed -n 's/^apusimd: pprof on //p' "$tmp_obs_log")
+    [ -n "$apusimd_addr" ] && [ -n "$pprof_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$apusimd_addr" ] || [ -z "$pprof_addr" ]; then
+    echo "ci.sh: apusimd (pprof) never reported both addresses" >&2
+    cat "$tmp_obs_log" >&2
+    exit 1
+fi
+python3 - "$apusimd_addr" "$pprof_addr" <<'EOF'
+import sys, urllib.error, urllib.request
+
+with urllib.request.urlopen("http://" + sys.argv[2] + "/debug/pprof/") as resp:
+    assert resp.status == 200, resp.status
+try:
+    urllib.request.urlopen("http://" + sys.argv[1] + "/debug/pprof/")
+    raise SystemExit("pprof leaked onto the API port")
+except urllib.error.HTTPError as e:
+    assert e.code == 404, e.code
+EOF
+kill -TERM "$apusimd_pid"
+if ! wait "$apusimd_pid"; then
+    echo "ci.sh: apusimd (pprof) exited nonzero on SIGTERM" >&2
+    cat "$tmp_obs_log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$tmp_obs_log"
+
 echo "ci.sh: all checks passed"

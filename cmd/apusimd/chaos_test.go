@@ -80,6 +80,7 @@ type jobStatus struct {
 	ID       string `json:"id"`
 	State    string `json:"state"`
 	CacheHit bool   `json:"cache_hit"`
+	TraceID  string `json:"trace_id"`
 }
 
 func (d *daemon) submit(t *testing.T, spec string) (int, jobStatus) {
@@ -229,12 +230,69 @@ func TestChaosKillCorruptRestart(t *testing.T) {
 		t.Errorf("recovery counters interrupted=%g requeued=%g, want 2/3", interrupted, requeued)
 	}
 
+	// The boot-time replay is observable: every recovery decision appears
+	// in the flight recorder (via /v1/debug) with the job's trace ID, and
+	// as a structured "job recovered" log line on stderr.
+	dbgCode, dbgBody := d2.get(t, "/v1/debug")
+	if dbgCode != http.StatusOK {
+		t.Fatalf("GET /v1/debug after restart: %d: %s", dbgCode, dbgBody)
+	}
+	var dbg struct {
+		Schema   string           `json:"schema"`
+		Store    map[string]int64 `json:"store"`
+		Recovery map[string]int64 `json:"recovery"`
+		Flight   []struct {
+			Event  string `json:"event"`
+			Job    string `json:"job"`
+			Trace  string `json:"trace_id"`
+			Detail string `json:"detail"`
+		} `json:"flight_recorder"`
+	}
+	if err := json.Unmarshal(dbgBody, &dbg); err != nil {
+		t.Fatalf("decoding /v1/debug: %v", err)
+	}
+	if dbg.Schema != "apusimd-debug/v1" {
+		t.Errorf("debug schema %q", dbg.Schema)
+	}
+	recoverTrace := make(map[string]string)
+	recoverOutcomes := make(map[string]int)
+	for _, ev := range dbg.Flight {
+		if ev.Event == "recover" {
+			recoverOutcomes[ev.Detail]++
+			recoverTrace[ev.Job] = ev.Trace
+			if len(ev.Trace) != 16 {
+				t.Errorf("recover event for %s carries malformed trace %q", ev.Job, ev.Trace)
+			}
+		}
+	}
+	if recoverOutcomes["interrupted"] != 2 || recoverOutcomes["requeued"] != 3 {
+		t.Errorf("flight recorder recover events %v, want interrupted=2 requeued=3", recoverOutcomes)
+	}
+	// The quarantined store entries and the recovery tally are in the same
+	// snapshot, so one debug scrape tells the whole restart story.
+	if dbg.Store["quarantined"] != 2 {
+		t.Errorf("debug store stats %v, want quarantined=2", dbg.Store)
+	}
+	if dbg.Recovery["interrupted"] != 2 || dbg.Recovery["requeued"] != 3 {
+		t.Errorf("debug recovery stats %v, want interrupted=2 requeued=3", dbg.Recovery)
+	}
+	bootLog, _ := os.ReadFile(d2.logPath)
+	if !strings.Contains(string(bootLog), `msg="job recovered"`) {
+		t.Errorf("no structured 'job recovered' line in restart log:\n%s", bootLog)
+	}
+
 	// Zero lost jobs: every acknowledged submission from phase 2 exists
 	// and runs to ok — including the interrupted long job, transparently
 	// re-queued by these very status fetches.
 	for _, id := range inflight {
-		if fin := d2.await(t, id, 30*time.Second); fin.State != "ok" {
+		fin := d2.await(t, id, 30*time.Second)
+		if fin.State != "ok" {
 			t.Errorf("recovered job %s finished %s, want ok", id, fin.State)
+		}
+		// The trace ID survives the crash: the job's JSON and the flight
+		// recorder's recover event correlate on the same 16-hex ID.
+		if tr := recoverTrace[id]; tr != "" && fin.TraceID != tr {
+			t.Errorf("job %s trace_id %q != flight-recorder trace %q", id, fin.TraceID, tr)
 		}
 	}
 

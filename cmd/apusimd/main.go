@@ -9,7 +9,9 @@
 //	GET  /v1/jobs               list every job, submission order
 //	GET  /v1/jobs/{id}          one job's status (?watch=1 streams NDJSON)
 //	GET  /v1/jobs/{id}/manifest the run's apusim-run-manifest/v1 JSON
-//	GET  /v1/metrics            service counters, Prometheus text format
+//	GET  /v1/jobs/{id}/trace    joined lifecycle + simulation trace
+//	GET  /v1/debug              live introspection (workers, queue, flight recorder)
+//	GET  /v1/metrics            service counters + histograms, Prometheus text
 //	GET  /v1/healthz            liveness + drain flag
 //	GET  /v1/experiments        runnable experiment IDs
 //
@@ -18,7 +20,9 @@
 // byte-for-byte, and identical in-flight submissions coalesce onto one
 // run. SIGINT/SIGTERM drains gracefully — new submissions get 503,
 // admitted jobs finish, and a second signal (or the -drain-grace
-// deadline) forces cancellation.
+// deadline) forces cancellation. SIGQUIT dumps the debug snapshot
+// (worker states plus the flight recorder of recent lifecycle events) to
+// stderr without stopping the daemon.
 //
 // With -data-dir the daemon is crash-safe: results persist in a
 // content-addressed store under the directory, every admission is
@@ -28,6 +32,11 @@
 // status fetch, and finished results come back byte-identical from the
 // store. Corrupt or truncated store files are quarantined, never served.
 //
+// Every job carries a trace ID that appears in the daemon's structured
+// logs (-log-level, -log-format), the job's JSON, and its /trace view.
+// Profiling endpoints (net/http/pprof) are served only when -debug-addr
+// names a separate listener, so they never share a port with the API.
+//
 // Usage:
 //
 //	apusimd                        # listen on :8080
@@ -36,23 +45,78 @@
 //	apusimd -tenant-max 8          # per-tenant in-flight cap (X-Tenant)
 //	apusimd -cache-bytes 16777216  # result cache LRU budget
 //	apusimd -data-dir /var/lib/apusimd  # survive crashes and restarts
+//	apusimd -log-format json -log-level debug  # structured logs on stderr
+//	apusimd -debug-addr 127.0.0.1:6060         # pprof on a private port
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	apusim "repro"
 	"repro/internal/service"
 )
+
+// parseLogLevel maps the -log-level flag onto slog levels.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+}
+
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (text, json)", format)
+}
+
+// serveDebug mounts net/http/pprof on its own listener. The profiling
+// surface is deliberately not on the API mux: it only exists when the
+// operator names a (typically loopback) address for it.
+func serveDebug(addr string, logger *slog.Logger) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			logger.Error("debug listener stopped", "error", err.Error())
+		}
+	}()
+	return ln, nil
+}
 
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve the HTTP API on")
@@ -64,7 +128,21 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain may take before jobs are cancelled")
 	dataDir := flag.String("data-dir", "", "directory for the durable result store and job journal (empty = memory-only)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base delay between job retry attempts (0 = 100ms default)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "separate address for net/http/pprof (empty = profiling disabled)")
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := newLogger(*logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv, err := service.New(service.Config{
 		Registry:          apusim.Experiments(),
@@ -76,6 +154,7 @@ func main() {
 		JobTimeout:        *jobTimeout,
 		DataDir:           *dataDir,
 		RetryBackoff:      *retryBackoff,
+		Logger:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
@@ -93,6 +172,16 @@ func main() {
 			v["apusimd_cache_quarantined_total"])
 	}
 
+	if *debugAddr != "" {
+		dln, err := serveDebug(*debugAddr, logger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apusimd: debug listener: %v\n", err)
+			os.Exit(2)
+		}
+		defer dln.Close()
+		fmt.Fprintf(os.Stderr, "apusimd: pprof on %s\n", dln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)
@@ -102,6 +191,23 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "apusimd: listening on %s\n", ln.Addr())
+
+	// SIGQUIT dumps the live debug snapshot — worker states, queue
+	// occupancy, and the flight recorder's recent lifecycle events — to
+	// stderr without stopping the daemon, for diagnosing a wedged process.
+	quits := make(chan os.Signal, 1)
+	signal.Notify(quits, syscall.SIGQUIT)
+	go func() {
+		for range quits {
+			snap := srv.DebugSnapshot()
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				logger.Error("debug snapshot failed", "error", err.Error())
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "apusimd: SIGQUIT debug snapshot:\n%s\n", out)
+		}
+	}()
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

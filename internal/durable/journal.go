@@ -44,6 +44,11 @@ type Record struct {
 	Key       string          `json:"key,omitempty"`
 	Coalesced bool            `json:"coalesced,omitempty"`
 	Spec      json.RawMessage `json:"spec,omitempty"`
+	// Trace is the job's trace correlation key (submit only), so a
+	// recovered job keeps the trace ID its structured logs and span dumps
+	// were written under. Older journals without it re-derive the ID
+	// deterministically from the job and key.
+	Trace string `json:"trace,omitempty"`
 	// State and Attempts describe a terminal outcome (done only).
 	State    string `json:"state,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`

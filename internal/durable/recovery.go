@@ -12,6 +12,8 @@ type JobRecovery struct {
 	Key       string
 	Coalesced bool
 	Spec      json.RawMessage
+	// Trace is the journaled trace correlation key, "" in older journals.
+	Trace string
 	// Started reports that a worker had picked the job up (a start
 	// record exists). A job that died started is treated more carefully
 	// than one that died queued — it may be the spec that killed the
@@ -45,6 +47,7 @@ func BuildRecovery(recs []Record) []JobRecovery {
 				Key:       rec.Key,
 				Coalesced: rec.Coalesced,
 				Spec:      rec.Spec,
+				Trace:     rec.Trace,
 			}
 			byJob[rec.Job] = jr
 			order = append(order, jr)

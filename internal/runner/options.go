@@ -55,6 +55,13 @@ type Options struct {
 	// context; values outside (0, 1] select 1 (trace every root), but NaN
 	// is an error. It only matters for experiments that call Ctx.Spans.
 	SpanSample float64
+	// TraceID, when non-empty, is the service-level trace correlation key
+	// for this suite run (apusimd threads each job's trace ID here). It is
+	// exposed to experiments via Ctx.TraceID for structured logging, and
+	// it is observability-only: nothing derived from it ever lands in a
+	// manifest, telemetry dump, or span dump, so the byte-identical
+	// determinism contract is untouched.
+	TraceID string
 	// OnResult, when set, is called once per experiment in registration
 	// order as soon as the result (and all earlier ones) are available,
 	// so callers can stream deterministic output while later experiments

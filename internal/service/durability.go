@@ -85,21 +85,29 @@ func (s *Server) rebuildJobs(recovered []durable.JobRecovery) []*Job {
 		job := newJob(jr.Job, jr.Tenant, spec, jr.Key)
 		job.seq = jr.Seq
 		job.recovered = true
+		// The journaled trace ID keeps the job correlated with log lines
+		// written before the crash; older journals without one re-derive
+		// the identical ID (the derivation is deterministic).
+		job.traceID = jr.Trace
+		if job.traceID == "" {
+			job.traceID = traceIDFor(jr.Job, jr.Key)
+		}
 		s.jobs[jr.Job] = job
 		s.order = append(s.order, jr.Job)
+		s.jobsTotal.Add(1)
 
 		switch {
 		case jr.Terminal != "":
 			job.finish(JobState(jr.Terminal), nil, "", jr.Attempts)
-			s.recovered["completed"].Inc()
+			s.noteRecovered(job, "completed")
 
 		case perr != nil:
 			job.finish(JobFailed, nil, fmt.Sprintf("recovered job spec no longer parses: %v", perr), 0)
-			s.recovered["failed"].Inc()
+			s.noteRecovered(job, "failed")
 
 		case spec.FaultPlan != nil && s.cfg.FaultPlanRun == nil:
 			job.finish(JobFailed, nil, "recovered fault-plan job, but this server does not accept fault plans", 0)
-			s.recovered["failed"].Inc()
+			s.noteRecovered(job, "failed")
 
 		default:
 			if !spec.NoCache {
@@ -107,18 +115,18 @@ func (s *Server) rebuildJobs(recovered []durable.JobRecovery) []*Job {
 				// must not skew the admission-facing hit/miss counters.
 				if e, ok := s.cache.Peek(jr.Key); ok {
 					job.finish(e.State, e.Manifest, "", e.Attempts)
-					s.recovered["from_cache"].Inc()
+					s.noteRecovered(job, "from_cache")
 					continue
 				}
 				if startedKeys[jr.Key] {
 					job.setState(JobInterrupted)
-					s.recovered["interrupted"].Inc()
+					s.noteRecovered(job, "interrupted")
 					continue
 				}
 				if leader := s.leaders[jr.Key]; leader != nil {
 					job.coalesced = true
 					s.followers[jr.Key] = append(s.followers[jr.Key], job)
-					s.recovered["requeued"].Inc()
+					s.noteRecovered(job, "requeued")
 					continue
 				}
 				s.leaders[jr.Key] = job
@@ -127,12 +135,12 @@ func (s *Server) rebuildJobs(recovered []durable.JobRecovery) []*Job {
 				// submissions but never share runs, so only this job's own
 				// start record parks it.
 				job.setState(JobInterrupted)
-				s.recovered["interrupted"].Inc()
+				s.noteRecovered(job, "interrupted")
 				continue
 			}
 			s.tenantInFlight[job.tenant]++
 			requeue = append(requeue, job)
-			s.recovered["requeued"].Inc()
+			s.noteRecovered(job, "requeued")
 		}
 	}
 	return requeue
@@ -172,6 +180,7 @@ func (s *Server) submitRecord(job *Job) durable.Record {
 		Key:       job.key,
 		Coalesced: job.coalesced,
 		Spec:      specJSON,
+		Trace:     job.traceID,
 	}
 }
 
@@ -229,14 +238,25 @@ func (s *Server) maybeRequeueInterrupted(job *Job) {
 			s.journalAppend(s.submitRecord(job))
 			s.mu.Unlock()
 			s.journalSync()
+			s.log.Info("interrupted job re-queued",
+				"job_id", job.id, "trace_id", job.traceID, "tenant", job.tenant,
+				"via", "coalesce")
+			s.flight.Record(FlightEvent{Event: "requeue_interrupted", Job: job.id,
+				Trace: job.traceID, Tenant: job.tenant, Detail: "coalesce"})
 			return
 		}
 	}
 	if fromCache != nil {
 		s.mu.Unlock()
 		job.finish(fromCache.State, fromCache.Manifest, "", fromCache.Attempts)
+		s.observeJobLatency(job)
 		s.journalAppendSync(durable.Record{Op: durable.OpDone, Job: job.id,
 			State: string(fromCache.State), Attempts: fromCache.Attempts})
+		s.log.Info("interrupted job finished from cache",
+			"job_id", job.id, "trace_id", job.traceID, "tenant", job.tenant,
+			"state", string(fromCache.State))
+		s.flight.Record(FlightEvent{Event: "requeue_interrupted", Job: job.id,
+			Trace: job.traceID, Tenant: job.tenant, Detail: "from_cache"})
 		return
 	}
 	if len(s.queue) >= s.cfg.QueueDepth || len(s.queue) >= cap(s.queue) {
@@ -254,4 +274,9 @@ func (s *Server) maybeRequeueInterrupted(job *Job) {
 	s.queue <- job // cannot block: depth checked under s.mu
 	s.mu.Unlock()
 	s.journalSync()
+	s.log.Info("interrupted job re-queued",
+		"job_id", job.id, "trace_id", job.traceID, "tenant", job.tenant,
+		"via", "queue")
+	s.flight.Record(FlightEvent{Event: "requeue_interrupted", Job: job.id,
+		Trace: job.traceID, Tenant: job.tenant, Detail: "queue"})
 }

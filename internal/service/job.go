@@ -60,6 +60,21 @@ type JobStatus struct {
 	// SpecHash is the content address of the job's normalized spec — the
 	// cache key.
 	SpecHash string `json:"spec_hash"`
+	// TraceID is the job's trace correlation key: the same 16-hex-digit ID
+	// appears in the daemon's structured log lines, the lifecycle trace
+	// served by GET /v1/jobs/{id}/trace, and the /v1/debug worker table
+	// while the job runs.
+	TraceID string `json:"trace_id,omitempty"`
+	// QueuedNS, RunNS, and E2ENS are wall-clock stage durations stamped
+	// from the recorded transitions: admission → worker pickup, worker
+	// pickup → terminal, and admission → terminal. QueuedNS and RunNS are
+	// present only for jobs that actually ran (cache hits and coalesced
+	// jobs reuse a result without running); E2ENS is present once the job
+	// is terminal. All three are observability data and are firewalled out
+	// of manifests, which carry only deterministic simulated-time records.
+	QueuedNS int64 `json:"queued_ns,omitempty"`
+	RunNS    int64 `json:"run_ns,omitempty"`
+	E2ENS    int64 `json:"e2e_ns,omitempty"`
 	// CacheHit marks a job served from the stored result cache;
 	// Coalesced marks one that waited on an identical in-flight run
 	// instead of simulating again. Both reuse a result, so both count as
@@ -82,10 +97,14 @@ type JobStatus struct {
 
 // Job is one submitted run. All fields behind mu; accessors copy.
 type Job struct {
-	id        string
-	tenant    string
-	spec      *Spec
-	key       string
+	id     string
+	tenant string
+	spec   *Spec
+	key    string
+	// traceID is the job's trace correlation key, immutable after
+	// admission (or recovery). It threads through structured logs, the
+	// journal, the flight recorder, and GET /v1/jobs/{id}/trace.
+	traceID   string
 	seq       int  // admission order, stable across journal replay
 	recovered bool // rebuilt from the journal after a restart
 
@@ -116,11 +135,16 @@ func (j *Job) Status() JobStatus {
 }
 
 func (j *Job) statusLocked() JobStatus {
+	queued, run, e2e := j.stageNanosLocked()
 	return JobStatus{
 		ID:          j.id,
 		Tenant:      j.tenant,
 		State:       j.state,
 		SpecHash:    j.key,
+		TraceID:     j.traceID,
+		QueuedNS:    queued,
+		RunNS:       run,
+		E2ENS:       e2e,
 		CacheHit:    j.cacheHit,
 		Coalesced:   j.coalesced,
 		Attempts:    j.attempts,
@@ -129,6 +153,43 @@ func (j *Job) statusLocked() JobStatus {
 		Recovered:   j.recovered,
 		Transitions: append([]Transition(nil), j.transitions...),
 	}
+}
+
+// stageNanosLocked derives the wall-clock stage durations from the
+// recorded transitions: admission → first worker pickup (queue wait),
+// pickup → terminal (run), and admission → terminal (end to end). Queue
+// and run durations exist only for jobs that actually ran; run and
+// end-to-end only once the job is terminal. Clock steps clamp to zero.
+func (j *Job) stageNanosLocked() (queuedNS, runNS, e2eNS int64) {
+	n := len(j.transitions)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	clamp := func(d time.Duration) int64 {
+		if d < 0 {
+			return 0
+		}
+		return d.Nanoseconds()
+	}
+	first := j.transitions[0]
+	last := j.transitions[n-1]
+	var runAt time.Time
+	for _, tr := range j.transitions {
+		if tr.State == JobRunning {
+			runAt = tr.At
+			break
+		}
+	}
+	if !runAt.IsZero() {
+		queuedNS = clamp(runAt.Sub(first.At))
+		if last.State.Terminal() {
+			runNS = clamp(last.At.Sub(runAt))
+		}
+	}
+	if last.State.Terminal() {
+		e2eNS = clamp(last.At.Sub(first.At))
+	}
+	return queuedNS, runNS, e2eNS
 }
 
 // currentState returns the job's state under its lock.

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
@@ -51,6 +53,16 @@ type Config struct {
 	// <= 0 selects 100ms. Delays grow exponentially per attempt with
 	// deterministic jitter and are capped at 10x the base.
 	RetryBackoff time.Duration
+	// Logger receives the daemon's structured log records (job lifecycle,
+	// admission control, recovery, drain). Nil discards them.
+	Logger *slog.Logger
+	// WatchHeartbeat is the cadence of keep-alive records on ?watch=1
+	// streams between state transitions; <= 0 selects 15s.
+	WatchHeartbeat time.Duration
+	// FlightEvents sizes the flight recorder's ring of recent lifecycle
+	// events (served by GET /v1/debug, dumped on SIGQUIT); <= 0 selects
+	// 256.
+	FlightEvents int
 }
 
 // DefaultTenant is the tenant jobs without an X-Tenant header bill to.
@@ -81,6 +93,19 @@ type Server struct {
 	workerPanics   *telemetry.Var
 	workerRestarts *telemetry.Var
 	shedRetryAfter *telemetry.Var
+
+	// The observability plane (observe.go): structured logger, flight
+	// recorder, per-worker state slots, and the lazily registered
+	// per-tenant shed counters. workerStates and the atomics are readable
+	// without s.mu, which is what keeps /v1/debug responsive while the
+	// serving path is busy or wedged.
+	log          *slog.Logger
+	flight       *flightRecorder
+	workerStates []atomic.Pointer[workerState]
+	jobsTotal    atomic.Int64
+	drainingFlag atomic.Bool
+	shedMu       sync.Mutex
+	tenantSheds  map[string]*telemetry.Var
 
 	// testHookJob, when set, runs on a worker just before each job is
 	// processed — the seam the supervision tests use to inject panics.
@@ -125,6 +150,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 100 * time.Millisecond
 	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewCache(cfg.CacheBytes),
@@ -132,6 +163,10 @@ func New(cfg Config) (*Server, error) {
 		leaders:        make(map[string]*Job),
 		followers:      make(map[string][]*Job),
 		tenantInFlight: make(map[string]int),
+		log:            cfg.Logger,
+		flight:         newFlightRecorder(cfg.FlightEvents),
+		workerStates:   make([]atomic.Pointer[workerState], cfg.Workers),
+		tenantSheds:    make(map[string]*telemetry.Var),
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.initMetrics()
@@ -152,7 +187,7 @@ func New(cfg Config) (*Server, error) {
 	s.initMux()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s, nil
 }
@@ -252,6 +287,7 @@ func (s *Server) initMetrics() {
 		"Worker loops respawned after a panic escaped job isolation.")
 	s.shedRetryAfter = m.Gauge("apusimd_shed_retry_after_seconds",
 		"Retry-After advised on the most recent load-shed 429 response.")
+	s.initLatencyHistograms()
 }
 
 // Metrics exposes the server's counter set (tests and embedders).
@@ -263,42 +299,54 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // worker is the self-healing worker loop: it drains the job queue until
 // Drain closes it, and if a panic ever escapes per-job isolation it
 // respawns the drain loop instead of silently shrinking the pool.
-func (s *Server) worker() {
+func (s *Server) worker(id int) {
 	defer s.wg.Done()
 	for {
-		if s.drainJobs() {
+		if s.drainJobs(id) {
 			return
 		}
 		s.workerRestarts.Inc()
+		s.log.Error("worker restarted after an escaped panic", "worker", id)
 	}
 }
 
 // drainJobs processes queued jobs until the queue closes (returning
 // true) or a panic escapes processJob's own isolation (returning false
 // so the worker respawns it).
-func (s *Server) drainJobs() (clean bool) {
+func (s *Server) drainJobs(id int) (clean bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.workerPanics.Inc()
+			s.setWorker(id, nil)
 			clean = false
 		}
 	}()
 	for job := range s.queue {
-		s.processJob(job)
+		s.processJob(id, job)
 	}
 	return true
 }
 
 // processJob runs one job on this worker. A panic inside the job path
 // fails the job rather than the worker; a worker that picks up a job
-// after a forced shutdown cancels it instead of simulating.
-func (s *Server) processJob(job *Job) {
+// after a forced shutdown cancels it instead of simulating. The worker's
+// state slot tracks which job and stage it is on for /v1/debug.
+func (s *Server) processJob(id int, job *Job) {
+	defer s.setWorker(id, nil)
 	defer func() {
 		if p := recover(); p != nil {
 			s.workerPanics.Inc()
+			s.log.Error("job panicked on worker",
+				"worker", id, "job_id", job.id, "trace_id", job.traceID,
+				"tenant", job.tenant, "panic", fmt.Sprint(p))
 			s.finishJob(job, JobFailed, nil, fmt.Sprintf("worker panic: %v", p), 0)
 		}
 	}()
+	exp := experimentLabel(job.spec)
+	s.setWorker(id, &workerState{
+		Job: job.id, Trace: job.traceID, Tenant: job.tenant,
+		Experiment: exp, Stage: "starting", Since: time.Now().UTC(),
+	})
 	if hook := s.testHookJob; hook != nil {
 		hook(job)
 	}
@@ -307,6 +355,11 @@ func (s *Server) processJob(job *Job) {
 		return
 	}
 	job.setState(JobRunning)
+	s.log.Info("job started",
+		"worker", id, "job_id", job.id, "trace_id", job.traceID,
+		"tenant", job.tenant, "experiment", exp)
+	s.flight.Record(FlightEvent{Event: "start", Job: job.id, Trace: job.traceID,
+		Tenant: job.tenant, Detail: exp})
 	// The start record must be durable before the simulation begins:
 	// if this job is what crashes the process, replay sees the start and
 	// parks the job as interrupted instead of re-running it at boot — the
@@ -318,9 +371,14 @@ func (s *Server) processJob(job *Job) {
 		s.mu.Lock()
 		s.running++
 		s.mu.Unlock()
+		s.setWorker(id, &workerState{
+			Job: job.id, Trace: job.traceID, Tenant: job.tenant,
+			Experiment: exp, Stage: "simulating", Since: time.Now().UTC(),
+		})
 		// The occupancy gauge must come back down even if the simulation
 		// panics out of this frame (the outer recover fails the job).
 		defer func() {
+			s.setWorker(id, nil)
 			s.mu.Lock()
 			s.running--
 			s.mu.Unlock()
@@ -368,6 +426,10 @@ func (s *Server) simulate(job *Job) (runner.Result, []byte) {
 		SpanSample:      1,
 		Audit:           spec.Audit,
 		Strict:          spec.Strict,
+		// The trace ID rides along for structured logging only; the runner
+		// guarantees it never reaches a manifest or span dump, so cached
+		// manifest bytes stay identical with or without it.
+		TraceID: job.traceID,
 	}
 	if spec.Spans {
 		opts.SpanSample = spec.SpanSample
@@ -432,9 +494,24 @@ func (s *Server) finishJob(job *Job, state JobState, manifest []byte, errMsg str
 
 	job.finish(state, manifest, errMsg, attempts)
 	s.completed[state].Add(1)
+	s.observeJobLatency(job)
+	st := job.Status()
+	s.log.Info("job finished",
+		"job_id", job.id, "trace_id", job.traceID, "tenant", job.tenant,
+		"state", string(state), "attempts", attempts, "error", errMsg,
+		"queued_ns", st.QueuedNS, "run_ns", st.RunNS, "e2e_ns", st.E2ENS)
+	s.flight.Record(FlightEvent{Event: "finish", Job: job.id, Trace: job.traceID,
+		Tenant: job.tenant, Detail: string(state)})
 	for _, f := range fols {
 		f.finish(state, manifest, errMsg, attempts)
 		s.completed[state].Add(1)
+		s.observeJobLatency(f)
+		s.log.Info("job finished",
+			"job_id", f.id, "trace_id", f.traceID, "tenant", f.tenant,
+			"state", string(state), "attempts", attempts, "error", errMsg,
+			"coalesced", true)
+		s.flight.Record(FlightEvent{Event: "finish", Job: f.id, Trace: f.traceID,
+			Tenant: f.tenant, Detail: string(state)})
 	}
 	// Done records ride the next group commit rather than forcing their
 	// own fsync: if they are lost to a crash, replay re-admits the job and
@@ -456,7 +533,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		s.drainingFlag.Store(true)
 		close(s.queue)
+		s.log.Info("drain started", "queued", len(s.queue))
+		s.flight.Record(FlightEvent{Event: "drain"})
 	}
 	s.mu.Unlock()
 
@@ -523,6 +603,8 @@ func (s *Server) initMux() {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/debug", s.handleDebug)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -594,6 +676,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.journalSync()
 			s.submitted.Inc()
 			s.coalesced.Inc()
+			s.log.Info("job admitted",
+				"job_id", job.id, "trace_id", job.traceID, "tenant", tenant,
+				"experiment", experimentLabel(spec), "coalesced", true)
+			s.flight.Record(FlightEvent{Event: "coalesce", Job: job.id,
+				Trace: job.traceID, Tenant: tenant, Detail: experimentLabel(spec)})
 			writeJSON(w, http.StatusAccepted, job.Status())
 			return
 		}
@@ -604,6 +691,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.submitted.Inc()
 			job.finish(e.State, e.Manifest, "", e.Attempts)
 			s.completed[e.State].Add(1)
+			s.observeJobLatency(job)
+			s.log.Info("job served from cache",
+				"job_id", job.id, "trace_id", job.traceID, "tenant", tenant,
+				"experiment", experimentLabel(spec), "state", string(e.State))
+			s.flight.Record(FlightEvent{Event: "cache_hit", Job: job.id,
+				Trace: job.traceID, Tenant: tenant, Detail: experimentLabel(spec)})
 			writeJSON(w, http.StatusOK, job.Status())
 			return
 		}
@@ -612,7 +705,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.TenantMaxInFlight > 0 && s.tenantInFlight[tenant] >= s.cfg.TenantMaxInFlight {
 		retry := s.retryAfterLocked()
 		s.mu.Unlock()
-		s.rejected["tenant_limit"].Inc()
+		s.shed(tenant, "tenant_limit", retry)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
 		writeErr(w, http.StatusTooManyRequests, "tenant %q already has %d jobs in flight (limit %d)",
 			tenant, s.cfg.TenantMaxInFlight, s.cfg.TenantMaxInFlight)
@@ -624,7 +717,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(s.queue) >= s.cfg.QueueDepth {
 		retry := s.retryAfterLocked()
 		s.mu.Unlock()
-		s.rejected["queue_full"].Inc()
+		s.shed(tenant, "queue_full", retry)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
 		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d deep); retry with backoff", s.cfg.QueueDepth)
 		return
@@ -644,6 +737,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !spec.NoCache {
 		s.misses.Inc()
 	}
+	s.log.Info("job admitted",
+		"job_id", job.id, "trace_id", job.traceID, "tenant", tenant,
+		"experiment", experimentLabel(spec), "spec_hash", key)
+	s.flight.Record(FlightEvent{Event: "submit", Job: job.id,
+		Trace: job.traceID, Tenant: tenant, Detail: experimentLabel(spec)})
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -668,9 +766,11 @@ func (s *Server) newJobLocked(tenant string, spec *Spec, key string) *Job {
 	s.seq++
 	id := fmt.Sprintf("j-%06d", s.seq)
 	job := newJob(id, tenant, spec, key)
+	job.traceID = traceIDFor(id, key)
 	job.seq = s.seq
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	s.jobsTotal.Add(1)
 	return job
 }
 
@@ -699,19 +799,42 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	enc := json.NewEncoder(w)
+	// Heartbeats keep the stream visibly alive between transitions, so a
+	// watcher behind a buffering proxy can tell a long-running job from a
+	// dead connection. The record shape is a subset of JobStatus plus a
+	// "heartbeat" marker: old clients decode it as a harmless status echo.
+	hb := time.NewTicker(s.cfg.WatchHeartbeat)
+	defer hb.Stop()
+	type heartbeat struct {
+		Heartbeat bool      `json:"heartbeat"`
+		ID        string    `json:"id"`
+		State     JobState  `json:"state"`
+		At        time.Time `json:"at"`
+	}
 	for {
 		select {
 		case st := <-ch:
 			if err := enc.Encode(st); err != nil {
 				return
 			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			if st.State.Terminal() {
 				return
 			}
+		case <-hb.C:
+			if err := enc.Encode(heartbeat{
+				Heartbeat: true, ID: job.id,
+				State: job.currentState(), At: time.Now().UTC(),
+			}); err != nil {
+				return
+			}
+			flush()
 		case <-r.Context().Done():
 			return
 		}

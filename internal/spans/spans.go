@@ -184,6 +184,31 @@ func (r *Recorder) Root(kind, name string, start sim.Time) Ref {
 	return Ref{r: r, idx: len(r.spans)}
 }
 
+// RootTraced records a root span under an explicit, caller-chosen
+// TraceID, bypassing the sampling draw. It exists for service-level
+// lifecycle tracing (apusimd's per-job traces), where the trace ID is
+// the job's externally visible correlation key — threaded through logs,
+// job JSON, and debug endpoints — rather than a seed-derived draw. The
+// span-store safety valve still applies; candidate accounting matches
+// Root so RootsSeen/RootsSampled stay truthful.
+func (r *Recorder) RootTraced(trace TraceID, kind, name string, start sim.Time) Ref {
+	if r == nil {
+		return Ref{}
+	}
+	r.roots++
+	if len(r.spans) >= maxSpans {
+		r.truncated = true
+		return Ref{r: r}
+	}
+	r.nextID++
+	r.spans = append(r.spans, Span{
+		Trace: trace, ID: r.nextID,
+		Kind: kind, Name: name, Start: start, End: start,
+	})
+	r.sampled++
+	return Ref{r: r, idx: len(r.spans)}
+}
+
 // RecordEvent pins a global annotation (e.g. a RAS fault) at simulated
 // time at. Nil-safe.
 func (r *Recorder) RecordEvent(at sim.Time, class, detail string) {

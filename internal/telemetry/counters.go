@@ -78,13 +78,19 @@ func (v *Var) Value() float64 {
 	return math.Float64frombits(v.bits.Load())
 }
 
-// family is one Prometheus metric family: every Var sharing a name (and
-// therefore HELP/TYPE), distinguished by labels.
+// family is one Prometheus metric family: every Var (or Histogram)
+// sharing a name — and therefore HELP/TYPE — distinguished by labels.
 type family struct {
 	name string
 	help string
 	typ  string
 	vars []*Var
+	// hists holds histogram families' variables, keyed by rendered label
+	// suffix so Histogram() is get-or-create: the same (name, labels)
+	// always returns the same variable, which lets callers register
+	// per-tenant or per-experiment series lazily without double counting.
+	hists  []*Histogram
+	byHist map[string]*Histogram
 }
 
 // Set is an ordered collection of service-level metric variables. The
@@ -130,6 +136,47 @@ func (s *Set) GaugeFunc(name, help string, fn func() float64, labels ...Label) *
 func (s *Set) register(name, help, typ string, fn func() float64, labels []Label) *Var {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	f := s.familyLocked(name, help, typ)
+	v := &Var{counter: typ == "counter", labels: renderLabels(labels), fn: fn}
+	f.vars = append(f.vars, v)
+	return v
+}
+
+// Histogram registers (or extends) a histogram family and returns the
+// variable for the given label combination. Unlike Counter/Gauge it is
+// get-or-create: calling it again with the same name and labels returns
+// the existing variable, so dynamically discovered label values (tenants,
+// experiments) can register on first observation. Every variable in a
+// family must share its bucket layout — mismatched bounds panic.
+func (s *Set) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.familyLocked(name, help, "histogram")
+	if f.byHist == nil {
+		f.byHist = make(map[string]*Histogram)
+	}
+	h := newHistogram(bounds, labels)
+	if old := f.byHist[h.key]; old != nil {
+		if len(old.bounds) != len(h.bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %s%s re-registered with different buckets", f.name, h.key))
+		}
+		for i := range old.bounds {
+			if old.bounds[i] != h.bounds[i] {
+				panic(fmt.Sprintf("telemetry: histogram %s%s re-registered with different buckets", f.name, h.key))
+			}
+		}
+		return old
+	}
+	f.byHist[h.key] = h
+	f.hists = append(f.hists, h)
+	// Keep exposition order deterministic regardless of which label value
+	// was observed first: histograms render sorted by label suffix.
+	sort.Slice(f.hists, func(i, j int) bool { return f.hists[i].key < f.hists[j].key })
+	return h
+}
+
+// familyLocked finds or creates the named family; s.mu must be held.
+func (s *Set) familyLocked(name, help, typ string) *family {
 	clean := promSanitize(name)
 	f := s.byName[clean]
 	if f == nil {
@@ -139,9 +186,7 @@ func (s *Set) register(name, help, typ string, fn func() float64, labels []Label
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("telemetry: metric %s registered as both %s and %s", clean, f.typ, typ))
 	}
-	v := &Var{counter: typ == "counter", labels: renderLabels(labels), fn: fn}
-	f.vars = append(f.vars, v)
-	return v
+	return f
 }
 
 // renderLabels formats constant labels as an exposition-format suffix,
@@ -175,6 +220,11 @@ func (s *Set) Values() map[string]float64 {
 		for _, v := range f.vars {
 			out[f.name+v.labels] = v.Value()
 		}
+		for _, h := range f.hists {
+			snap := h.Snapshot()
+			out[f.name+"_count"+h.key] = float64(snap.Count)
+			out[f.name+"_sum"+h.key] = snap.Sum
+		}
 	}
 	return out
 }
@@ -196,7 +246,33 @@ func (s *Set) WritePromText(w io.Writer) error {
 		for _, v := range f.vars {
 			fmt.Fprintf(&b, "%s%s %s\n", f.name, v.labels, promFloat(v.Value()))
 		}
+		for _, h := range f.hists {
+			h.writeProm(&b, f.name)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeProm renders one histogram variable in the Prometheus histogram
+// exposition shape: cumulative _bucket samples with le labels (including
+// the mandatory +Inf bucket), then _sum and _count. All samples derive
+// from one consistent snapshot.
+func (h *Histogram) writeProm(b *strings.Builder, name string) {
+	snap := h.Snapshot()
+	withLE := func(le string) string {
+		inner := fmt.Sprintf("le=%q", le)
+		if len(h.labels) == 0 {
+			return "{" + inner + "}"
+		}
+		return strings.TrimSuffix(h.key, "}") + "," + inner + "}"
+	}
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(promFloat(bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), snap.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, h.key, promFloat(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, h.key, snap.Count)
 }

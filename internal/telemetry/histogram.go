@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file provides service-level latency histograms: fixed-bucket
+// distributions for wall-clock quantities observed by long-running
+// processes (queue wait, run time, end-to-end latency in apusimd), as
+// opposed to the simulated-time probes the Recorder samples. A Histogram
+// renders in the Prometheus histogram exposition format (_bucket lines
+// with cumulative counts and le labels, plus _sum and _count), so the
+// daemon's /v1/metrics endpoint feeds histogram_quantile() directly, and
+// it computes deterministic p50/p95/p99 estimates in-process for SLO
+// reporting without a scrape round trip.
+
+// ExpBuckets returns n exponentially growing bucket upper bounds:
+// start, start*factor, start*factor², …. It panics on non-positive
+// start, a factor <= 1, or n < 1 — bucket layouts are static
+// configuration, so a bad one is a programming bug.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || math.IsNaN(start) || math.IsInf(start, 0) {
+		panic(fmt.Sprintf("telemetry: ExpBuckets start %g must be a positive number", start))
+	}
+	if factor <= 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("telemetry: ExpBuckets factor %g must be > 1", factor))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("telemetry: ExpBuckets n %d must be >= 1", n))
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for second-denominated
+// latency histograms: 1ms doubling up to ~131s, which spans a cache hit
+// through the 2-minute default job deadline.
+func LatencyBuckets() []float64 { return ExpBuckets(0.001, 2, 18) }
+
+// Histogram is one fixed-bucket distribution variable. Observations are
+// counted into the first bucket whose upper bound is >= the value; values
+// beyond the last bound land in an implicit +Inf overflow bucket. All
+// methods are safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	labels []Label   // constant labels, sorted by key
+	key    string    // rendered label suffix, the family's dedup key
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// newHistogram validates the bucket layout and builds the variable.
+func newHistogram(bounds []float64, labels []Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram with no buckets")
+	}
+	b := append([]float64(nil), bounds...)
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("telemetry: histogram bound %g is not finite", v))
+		}
+		if i > 0 && v <= b[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %g", v))
+		}
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return &Histogram{
+		bounds: b,
+		labels: sorted,
+		key:    renderLabels(sorted),
+		counts: make([]uint64, len(b)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped — they would
+// poison the sum and cannot be bucketed.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// element for the +Inf overflow bucket. Counts are per-bucket, not
+	// cumulative.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the deterministic q-quantile estimate (q in [0, 1]):
+// the observation rank's bucket located by cumulative count, linearly
+// interpolated between the bucket's bounds. The estimate depends only on
+// the bucket counts — never on observation order — so concurrent
+// observers and repeated calls always agree. It returns 0 for an empty
+// histogram and the last finite bound for ranks landing in the overflow
+// bucket (the classic Prometheus clamp).
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileLocked(h.bounds, h.counts, h.count, q)
+}
+
+// Quantile computes the same estimate from a snapshot, so callers holding
+// one snapshot can derive p50/p95/p99 from a single consistent state.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return quantileLocked(s.Bounds, s.Counts, s.Count, q)
+}
+
+func quantileLocked(bounds []float64, counts []uint64, count uint64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) { // overflow bucket: clamp to the last bound
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}

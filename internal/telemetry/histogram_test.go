@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpBucketsLayout(t *testing.T) {
+	got := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets returned %d bounds, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bound[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if n := len(LatencyBuckets()); n != 18 {
+		t.Errorf("LatencyBuckets has %d bounds, want 18", n)
+	}
+}
+
+func TestExpBucketsRejectsNonsense(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero start":     func() { ExpBuckets(0, 2, 3) },
+		"negative start": func() { ExpBuckets(-1, 2, 3) },
+		"factor one":     func() { ExpBuckets(1, 1, 3) },
+		"zero n":         func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramBucketing pins the bucketing rule: a value lands in the
+// first bucket whose upper bound is >= the value (le is inclusive, as in
+// Prometheus), values beyond the last bound land in the overflow bucket,
+// and NaN observations are dropped.
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	wantCounts := []uint64{2, 2, 1, 1} // [<=1, <=2, <=4, +Inf]
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket[%d] = %d, want %d (counts %v)", i, snap.Counts[i], want, snap.Counts)
+		}
+	}
+	if snap.Count != 6 {
+		t.Errorf("count = %d, want 6 (NaN dropped)", snap.Count)
+	}
+	if snap.Sum != 0.5+1+1.5+2+4+5 {
+		t.Errorf("sum = %g, want %g", snap.Sum, 0.5+1+1.5+2+4+5)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4}, nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", q)
+	}
+	// 100 observations, all in the first bucket: rank interpolates
+	// linearly across [0, 1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Errorf("p50 = %g, want 0.5", q)
+	}
+	if q := h.Quantile(1); math.Abs(q-1) > 1e-9 {
+		t.Errorf("p100 = %g, want 1 (upper bound of the occupied bucket)", q)
+	}
+
+	// Overflow ranks clamp to the last finite bound.
+	over := newHistogram([]float64{1, 2, 4}, nil)
+	over.Observe(100)
+	if q := over.Quantile(0.99); q != 4 {
+		t.Errorf("overflow p99 = %g, want clamp to 4", q)
+	}
+}
+
+// TestQuantileOrderIndependent pins the determinism contract: the
+// estimate depends only on bucket counts, so any insertion order of the
+// same multiset yields identical quantiles.
+func TestQuantileOrderIndependent(t *testing.T) {
+	vals := []float64{0.0005, 0.003, 0.01, 0.01, 0.02, 0.1, 0.1, 0.1, 1.5, 30}
+	a := newHistogram(LatencyBuckets(), nil)
+	b := newHistogram(LatencyBuckets(), nil)
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if qa, qb := a.Quantile(q), b.Quantile(q); qa != qb {
+			t.Errorf("q=%g: forward %g != reverse %g", q, qa, qb)
+		}
+	}
+}
+
+func TestSetHistogramGetOrCreate(t *testing.T) {
+	s := NewSet()
+	l := Label{Key: "tenant", Value: "a"}
+	h1 := s.Histogram("lat_seconds", "help", []float64{1, 2}, l)
+	h2 := s.Histogram("lat_seconds", "help", []float64{1, 2}, l)
+	if h1 != h2 {
+		t.Fatal("same name+labels returned distinct histograms")
+	}
+	if h3 := s.Histogram("lat_seconds", "help", []float64{1, 2}, Label{Key: "tenant", Value: "b"}); h3 == h1 {
+		t.Fatal("different labels returned the same histogram")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering with different buckets should panic")
+			}
+		}()
+		s.Histogram("lat_seconds", "help", []float64{1, 2, 3}, l)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("registering a counter under a histogram name should panic")
+			}
+		}()
+		s.Counter("lat_seconds", "help")
+	}()
+}
+
+// TestHistogramPromExposition pins the exact exposition text: cumulative
+// _bucket samples with inclusive le labels and the mandatory +Inf bucket,
+// then _sum and _count, with label sets rendered in sorted order
+// regardless of which was registered first.
+func TestHistogramPromExposition(t *testing.T) {
+	s := NewSet()
+	// Register "b" before "a": exposition must still sort a first.
+	s.Histogram("req_seconds", "request latency", []float64{0.001, 0.002},
+		Label{Key: "experiment", Value: "b"}).Observe(0.0015)
+	ha := s.Histogram("req_seconds", "request latency", []float64{0.001, 0.002},
+		Label{Key: "experiment", Value: "a"})
+	ha.Observe(0.0005)
+	ha.Observe(5)
+
+	var b strings.Builder
+	if err := s.WritePromText(&b); err != nil {
+		t.Fatalf("WritePromText: %v", err)
+	}
+	want := strings.Join([]string{
+		"# HELP req_seconds request latency",
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{experiment="a",le="0.001"} 1`,
+		`req_seconds_bucket{experiment="a",le="0.002"} 1`,
+		`req_seconds_bucket{experiment="a",le="+Inf"} 2`,
+		`req_seconds_sum{experiment="a"} 5.0005`,
+		`req_seconds_count{experiment="a"} 2`,
+		`req_seconds_bucket{experiment="b",le="0.001"} 0`,
+		`req_seconds_bucket{experiment="b",le="0.002"} 1`,
+		`req_seconds_bucket{experiment="b",le="+Inf"} 1`,
+		`req_seconds_sum{experiment="b"} 0.0015`,
+		`req_seconds_count{experiment="b"} 1`,
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// Scraping is read-only: a second render is byte-identical.
+	var b2 strings.Builder
+	_ = s.WritePromText(&b2)
+	if b.String() != b2.String() {
+		t.Error("repeated scrapes differ")
+	}
+
+	// Values() mirrors the aggregate samples for in-process consumers.
+	v := s.Values()
+	if v[`req_seconds_count{experiment="a"}`] != 2 {
+		t.Errorf("Values count = %g, want 2", v[`req_seconds_count{experiment="a"}`])
+	}
+	if v[`req_seconds_sum{experiment="b"}`] != 0.0015 {
+		t.Errorf("Values sum = %g, want 0.0015", v[`req_seconds_sum{experiment="b"}`])
+	}
+}
