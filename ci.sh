@@ -388,6 +388,100 @@ if ! wait "$apusimd_pid"; then
 fi
 grep -q "apusimd: recovery: requeued=2 interrupted=1 from_cache=0 completed=1 failed=0" "$tmp_apusimd_log2"
 
+echo "== apusimd disk-fault smoke =="
+# The storage circuit breaker end to end. First in-process under the race
+# detector: the seeded fault storm and the never-202-on-failed-fsync
+# invariant. Then the real binary on a chaos filesystem whose byte budget
+# runs out mid-run (CI runs as root, so chmod-based read-only dirs don't
+# fail writes; ENOSPC injection does, deterministically): the daemon must
+# trip into degraded memory-only mode, keep serving, log the episode, and
+# re-arm durability once the disk heals on schedule.
+go test -race ./internal/service/ -run 'TestDiskFaultStorm|TestFailedJournalFsync' -count=1
+
+tmp_fault_data=$(mktemp -d)
+tmp_fault_log=$(mktemp)
+trap 'rm -f "$tmp_telemetry" "$tmp_spans1" "$tmp_spans8" "$tmp_audit_manifest" "$tmp_chaos1" "$tmp_chaos8" "$tmp_apusimd" "$tmp_apusimd_log" "$tmp_apusimd_log2" "$tmp_apusimd_m1" "$tmp_fault_log"; rm -rf "$tmp_apusimd_data" "$tmp_fault_data"' EXIT
+"$tmp_apusimd" -listen 127.0.0.1:0 -workers 1 -data-dir "$tmp_fault_data" \
+    -chaos-seed 20260808 -chaos-enospc-bytes 4096 -chaos-heal-after 6s \
+    -durability-probe 100ms 2>"$tmp_fault_log" &
+apusimd_pid=$!
+apusimd_addr=""
+for _ in $(seq 1 100); do
+    apusimd_addr=$(sed -n 's/^apusimd: listening on //p' "$tmp_fault_log")
+    [ -n "$apusimd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$apusimd_addr" ]; then
+    echo "ci.sh: apusimd (disk-fault) never reported its listen address" >&2
+    cat "$tmp_fault_log" >&2
+    exit 1
+fi
+python3 - "$apusimd_addr" <<'EOF'
+import json, sys, time, urllib.error, urllib.request
+
+base = "http://" + sys.argv[1] + "/v1"
+
+def call(method, path, body=None):
+    req = urllib.request.Request(base + path, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read()
+
+def durability():
+    _, body = call("GET", "/healthz")
+    return json.loads(body)["durability"]
+
+assert durability() == "ok", durability()
+
+# Burn the 4 KiB chaos byte budget: journal records and store entries
+# overflow it within a few jobs. A submission may be refused with 503
+# (its WAL record could not be fsynced — never a 202) but must never
+# error any other way.
+tripped = False
+for i in range(60):
+    code, body = call("POST", "/jobs",
+                      json.dumps({"experiment": "table1", "seed": i}).encode())
+    assert code in (200, 202, 503), (code, body)
+    if durability() == "degraded":
+        tripped = True
+        break
+    time.sleep(0.05)
+assert tripped, "breaker never tripped on the chaos disk"
+
+# Degraded is an operating mode, not an outage: the daemon still accepts
+# work, honestly marked non-durable.
+code, body = call("POST", "/jobs", json.dumps({"experiment": "fig7"}).encode())
+assert code == 202 and json.loads(body).get("non_durable"), (code, body)
+
+# The scheduled heal lands and the background probe re-arms durability.
+deadline = time.time() + 30
+while durability() != "ok":
+    assert time.time() < deadline, "durability never recovered after heal"
+    time.sleep(0.1)
+
+_, metrics = call("GET", "/metrics")
+samples = {}
+for line in metrics.decode().splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+assert samples["apusimd_durability_degraded_total"] >= 1, samples
+assert samples["apusimd_durability_recovered_total"] >= 1, samples
+assert samples["apusimd_durability_armed"] == 1, samples
+EOF
+kill -TERM "$apusimd_pid"
+if ! wait "$apusimd_pid"; then
+    echo "ci.sh: apusimd (disk-fault) exited nonzero on SIGTERM" >&2
+    cat "$tmp_fault_log" >&2
+    exit 1
+fi
+# The degraded episode and the recovery both reached the structured log.
+grep -q "durability degraded: entering memory-only mode" "$tmp_fault_log"
+grep -q "durability recovered: admissions journaled again" "$tmp_fault_log"
+grep -q "CHAOS: fault injection healed" "$tmp_fault_log"
+
 echo "== apusimd observability smoke =="
 # The observability plane end to end: the job's trace ID must link its
 # JSON, its /trace span dump, and the flight recorder; /v1/debug must

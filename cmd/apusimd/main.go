@@ -31,6 +31,14 @@
 // were mid-simulation park as "interrupted" and re-run on their next
 // status fetch, and finished results come back byte-identical from the
 // store. Corrupt or truncated store files are quarantined, never served.
+// A storage failure (full disk, failed fsync) never kills the daemon: it
+// trips a circuit breaker into degraded memory-only mode. A submission
+// whose journal record cannot be fsynced is refused with 503 — never
+// acknowledged — and while degraded, new work is accepted with
+// non_durable:true (or refused outright under -require-durability). A
+// background probe (-durability-probe) re-tests the disk and re-arms
+// durability with a journal checkpoint once it heals; /v1/healthz
+// reports the current durability state.
 //
 // Every job carries a trace ID that appears in the daemon's structured
 // logs (-log-level, -log-format), the job's JSON, and its /trace view.
@@ -45,6 +53,8 @@
 //	apusimd -tenant-max 8          # per-tenant in-flight cap (X-Tenant)
 //	apusimd -cache-bytes 16777216  # result cache LRU budget
 //	apusimd -data-dir /var/lib/apusimd  # survive crashes and restarts
+//	apusimd -require-durability    # 503 while degraded instead of non-durable 202s
+//	apusimd -max-queue-wait 500ms  # shed with 429 when p95 queue wait exceeds 500ms
 //	apusimd -log-format json -log-level debug  # structured logs on stderr
 //	apusimd -debug-addr 127.0.0.1:6060         # pprof on a private port
 package main
@@ -66,6 +76,7 @@ import (
 	"time"
 
 	apusim "repro"
+	"repro/internal/durable"
 	"repro/internal/service"
 )
 
@@ -127,6 +138,16 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock deadline")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain may take before jobs are cancelled")
 	dataDir := flag.String("data-dir", "", "directory for the durable result store and job journal (empty = memory-only)")
+	requireDurability := flag.Bool("require-durability", false, "refuse submissions with 503 while storage durability is degraded, instead of accepting them as non-durable")
+	durabilityProbe := flag.Duration("durability-probe", 2*time.Second, "cadence of the degraded-mode disk probe that re-arms durability")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold in bytes (0 = 1 MiB default)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "shed submissions with 429 once p95 queue wait exceeds this under backlog (0 = depth-based shedding only)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "TESTING: PRNG seed for deterministic disk-fault injection")
+	chaosWriteErr := flag.Float64("chaos-write-err-rate", 0, "TESTING: per-write probability of an injected I/O failure")
+	chaosSyncErr := flag.Float64("chaos-sync-err-rate", 0, "TESTING: per-fsync probability of an injected failure")
+	chaosOpErr := flag.Float64("chaos-op-err-rate", 0, "TESTING: per-metadata-op probability of an injected failure")
+	chaosENOSPC := flag.Int64("chaos-enospc-bytes", 0, "TESTING: fail writes with ENOSPC after this many bytes")
+	chaosHealAfter := flag.Duration("chaos-heal-after", 0, "TESTING: stop all fault injection after this interval (0 = never)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base delay between job retry attempts (0 = 100ms default)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
@@ -144,17 +165,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Any chaos flag arms a deterministic fault-injecting filesystem under
+	// the durability layer. This exists for disk-fault drills and the
+	// chaos test suite: the daemon's degraded-mode handling can be
+	// rehearsed against a disk that fails on schedule.
+	var fsys durable.FS
+	if *chaosWriteErr > 0 || *chaosSyncErr > 0 || *chaosOpErr > 0 || *chaosENOSPC > 0 {
+		ffs := durable.NewFaultFS(nil, durable.FaultConfig{
+			Seed:             *chaosSeed,
+			WriteErrRate:     *chaosWriteErr,
+			SyncErrRate:      *chaosSyncErr,
+			OpErrRate:        *chaosOpErr,
+			ENOSPCAfterBytes: *chaosENOSPC,
+			TornWrites:       true,
+		})
+		fsys = ffs
+		fmt.Fprintf(os.Stderr,
+			"apusimd: CHAOS: injecting disk faults (seed=%d write=%g sync=%g op=%g enospc=%d heal-after=%s)\n",
+			*chaosSeed, *chaosWriteErr, *chaosSyncErr, *chaosOpErr, *chaosENOSPC, *chaosHealAfter)
+		if *chaosHealAfter > 0 {
+			time.AfterFunc(*chaosHealAfter, func() {
+				ffs.Heal()
+				fmt.Fprintln(os.Stderr, "apusimd: CHAOS: fault injection healed")
+			})
+		}
+	}
+
 	srv, err := service.New(service.Config{
-		Registry:          apusim.Experiments(),
-		FaultPlanRun:      apusim.ExperimentFaultPlan,
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		TenantMaxInFlight: *tenantMax,
-		CacheBytes:        *cacheBytes,
-		JobTimeout:        *jobTimeout,
-		DataDir:           *dataDir,
-		RetryBackoff:      *retryBackoff,
-		Logger:            logger,
+		Registry:            apusim.Experiments(),
+		FaultPlanRun:        apusim.ExperimentFaultPlan,
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		TenantMaxInFlight:   *tenantMax,
+		CacheBytes:          *cacheBytes,
+		JobTimeout:          *jobTimeout,
+		DataDir:             *dataDir,
+		FS:                  fsys,
+		RequireDurability:   *requireDurability,
+		DurabilityProbe:     *durabilityProbe,
+		JournalSegmentBytes: *journalSegBytes,
+		MaxQueueWait:        *maxQueueWait,
+		RetryBackoff:        *retryBackoff,
+		Logger:              logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apusimd: %v\n", err)

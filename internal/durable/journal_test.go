@@ -22,12 +22,36 @@ func submitRec(i int) Record {
 	}
 }
 
-func TestJournalRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, recs, stats, err := OpenJournal(path)
+// openDir is the test shorthand for opening a segmented journal on the
+// real filesystem with default options.
+func openDir(t *testing.T, dir string) (*Journal, []Record, DirReplayStats) {
+	t.Helper()
+	j, recs, stats, err := OpenJournalDir(nil, dir, JournalOptions{})
 	if err != nil {
-		t.Fatalf("OpenJournal: %v", err)
+		t.Fatalf("OpenJournalDir: %v", err)
 	}
+	return j, recs, stats
+}
+
+// segmentFiles lists the journal files currently under dir, sorted.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := OS().ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var out []string
+	for _, n := range names {
+		if isJournalFile(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, stats := openDir(t, dir)
 	if len(recs) != 0 || stats.Records != 0 {
 		t.Fatalf("fresh journal replayed %d records", len(recs))
 	}
@@ -45,11 +69,8 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	_, got, stats, err := OpenJournal(path)
-	if err != nil {
-		t.Fatalf("reopen: %v", err)
-	}
-	if stats.Corrupt != 0 || stats.TruncatedTail {
+	_, got, stats := openDir(t, dir)
+	if stats.Corrupt != 0 || stats.TruncatedTails != 0 || stats.BadHeaders != 0 {
 		t.Errorf("clean journal replayed with damage: %+v", stats)
 	}
 	if len(got) != len(want) {
@@ -66,12 +87,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestJournalTruncatedTailDiscardedAndHealed(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, _, _, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestJournalTruncatedTailDiscardedNondestructively(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openDir(t, dir)
 	for i := 0; i < 3; i++ {
 		if err := j.AppendSync(submitRec(i)); err != nil {
 			t.Fatal(err)
@@ -80,36 +98,32 @@ func TestJournalTruncatedTailDiscardedAndHealed(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash mid-append: chop the file inside the last record.
-	data, err := os.ReadFile(path)
+	// Simulate a crash mid-append: chop the segment inside the last record.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+	if err := os.WriteFile(seg, data[:len(data)-10], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	j2, recs, stats, err := OpenJournal(path)
-	if err != nil {
-		t.Fatalf("reopen over torn tail: %v", err)
+	j2, recs, stats := openDir(t, dir)
+	if len(recs) != 2 || stats.TruncatedTails != 1 {
+		t.Fatalf("replayed %d records (stats %+v), want 2 with one truncated tail", len(recs), stats)
 	}
-	if len(recs) != 2 || !stats.TruncatedTail {
-		t.Fatalf("replayed %d records (stats %+v), want 2 with a truncated tail", len(recs), stats)
-	}
-	// The torn bytes must be gone: appending after reopen yields a clean
-	// journal with 3 intact records.
+	// Replay is read-only: the torn segment is untouched, and appends land
+	// in a fresh segment past it — the intact records plus the new one all
+	// replay, with the torn tail still (harmlessly) reported.
 	if err := j2.AppendSync(submitRec(99)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, stats, err = OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 3 || stats.Corrupt != 0 || stats.TruncatedTail {
-		t.Errorf("healed journal: %d records, stats %+v; want 3 clean", len(recs), stats)
+	_, recs, stats = openDir(t, dir)
+	if len(recs) != 3 || stats.Corrupt != 0 {
+		t.Errorf("post-heal replay: %d records, stats %+v; want 3 intact", len(recs), stats)
 	}
 	if recs[2].Seq != 99 {
 		t.Errorf("post-heal append lost: %+v", recs[2])
@@ -117,11 +131,8 @@ func TestJournalTruncatedTailDiscardedAndHealed(t *testing.T) {
 }
 
 func TestJournalSkipsBitFlippedRecordAndKeepsRest(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, _, _, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	j, _, _ := openDir(t, dir)
 	for i := 0; i < 3; i++ {
 		if err := j.Append(submitRec(i)); err != nil {
 			t.Fatal(err)
@@ -130,26 +141,24 @@ func TestJournalSkipsBitFlippedRecordAndKeepsRest(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte inside the middle record's JSON body (well past the
-	// first line, well before the last).
+	// Flip a byte inside the middle record's JSON body (line 0 is the
+	// segment header, line 1 the first record).
 	lines := bytes.SplitAfter(data, []byte("\n"))
-	if len(lines) < 3 {
-		t.Fatalf("journal has %d lines", len(lines))
+	if len(lines) < 4 {
+		t.Fatalf("segment has %d lines", len(lines))
 	}
-	mid := len(lines[0]) + len(lines[1])/2
+	mid := len(lines[0]) + len(lines[1]) + len(lines[2])/2
 	data[mid] ^= 0x20
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	_, recs, stats, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, recs, stats := openDir(t, dir)
 	if stats.Corrupt != 1 || len(recs) != 2 {
 		t.Fatalf("replayed %d records with %d corrupt, want 2 and 1", len(recs), stats.Corrupt)
 	}
@@ -159,11 +168,8 @@ func TestJournalSkipsBitFlippedRecordAndKeepsRest(t *testing.T) {
 }
 
 func TestJournalGroupCommitBatchesSyncs(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, _, _, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	j, _, _ := openDir(t, dir)
 	defer j.Close()
 	const writers = 32
 	var wg sync.WaitGroup
@@ -185,18 +191,49 @@ func TestJournalGroupCommitBatchesSyncs(t *testing.T) {
 		t.Errorf("syncs (%d) exceed appends (%d): batching never engaged", st.Syncs, st.Appends)
 	}
 	// Everything must be durable and intact.
-	_, recs, stats, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, recs, stats := openDir(t, dir)
 	if len(recs) != writers || stats.Corrupt != 0 {
 		t.Errorf("replayed %d records (%d corrupt), want %d clean", len(recs), stats.Corrupt, writers)
 	}
 }
 
-func TestJournalCompactDropsDeadRecords(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, _, _, err := OpenJournal(path)
+func TestJournalRotatesSegmentsAtSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny cap forces rotation every couple of records.
+	j, _, _, err := OpenJournalDir(nil, dir, JournalOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := j.AppendSync(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+	if st := j.Stats(); st.Segments != int64(len(segs)) {
+		t.Errorf("Stats.Segments = %d, disk has %d", st.Segments, len(segs))
+	}
+	_, recs, stats := openDir(t, dir)
+	if len(recs) != n || stats.Corrupt != 0 || stats.BadHeaders != 0 {
+		t.Fatalf("multi-segment replay: %d records, stats %+v; want %d clean", len(recs), stats, n)
+	}
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d: cross-segment order lost", i, rec.Seq)
+		}
+	}
+}
+
+func TestJournalCheckpointRetiresOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _, err := OpenJournalDir(nil, dir, JournalOptions{SegmentBytes: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,38 +245,142 @@ func TestJournalCompactDropsDeadRecords(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.Close(); err != nil {
+	if err := j.Sync(); err != nil {
 		t.Fatal(err)
+	}
+	if len(segmentFiles(t, dir)) < 2 {
+		t.Fatalf("precondition: expected several segments, got %v", segmentFiles(t, dir))
 	}
 	// Keep only one live job; everything else is terminal history.
 	live := []Record{submitRec(42)}
-	j2, err := Compact(path, live)
-	if err != nil {
-		t.Fatalf("Compact: %v", err)
+	if err := j.Checkpoint(live); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
 	}
-	if err := j2.AppendSync(Record{Op: OpStart, Job: "j-000042"}); err != nil {
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("checkpoint left %v, want exactly one segment", segs)
+	}
+	if st := j.Stats(); st.Checkpoints != 1 || st.RecordsSinceCheckpoint != 0 {
+		t.Errorf("post-checkpoint stats %+v", st)
+	}
+	// The journal keeps appending into the checkpointed segment.
+	if err := j.AppendSync(Record{Op: OpStart, Job: "j-000042"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j2.Close(); err != nil {
+	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, _, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, recs, _ := openDir(t, dir)
 	if len(recs) != 2 || recs[0].Seq != 42 || recs[1].Op != OpStart {
-		t.Errorf("compacted journal replayed %+v, want the live submit plus the post-compact start", recs)
+		t.Errorf("checkpointed journal replayed %+v, want the live submit plus the post-checkpoint start", recs)
+	}
+}
+
+func TestJournalReplaysLegacySingleFileFirst(t *testing.T) {
+	dir := t.TempDir()
+	// Fabricate a pre-segment journal: raw records, no header.
+	var legacy bytes.Buffer
+	for i := 0; i < 3; i++ {
+		framed, err := frameRecord(submitRec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy.Write(framed)
+	}
+	if err := os.WriteFile(JournalPath(dir), legacy.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, stats := openDir(t, dir)
+	if !stats.LegacyJournal || len(recs) != 3 {
+		t.Fatalf("legacy replay: %d records, stats %+v", len(recs), stats)
+	}
+	// New appends land in segment 1; the legacy file is preserved until a
+	// checkpoint retires it.
+	if err := j.AppendSync(submitRec(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(JournalPath(dir)); err != nil {
+		t.Fatalf("legacy journal removed before checkpoint: %v", err)
+	}
+	if err := j.Checkpoint([]Record{submitRec(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(JournalPath(dir)); !os.IsNotExist(err) {
+		t.Errorf("legacy journal survived the checkpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats = openDir(t, dir)
+	if stats.LegacyJournal || len(recs) != 1 || recs[0].Seq != 10 {
+		t.Errorf("post-migration replay: %d records, stats %+v", len(recs), stats)
+	}
+}
+
+func TestJournalMissingMiddleSegmentCounted(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _, err := OpenJournalDir(nil, dir, JournalOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SegmentBytes=1 rotates on every append: one record per segment.
+	for i := 0; i < 3; i++ {
+		if err := j.AppendSync(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, stats := openDir(t, dir)
+	if stats.MissingSegments != 1 || len(recs) != 2 {
+		t.Fatalf("replayed %d records, stats %+v; want 2 with one missing segment", len(recs), stats)
+	}
+	// The writer must continue numbering past the highest surviving index.
+	if err := j2.AppendSync(submitRec(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName(4))); err != nil {
+		t.Errorf("expected the next append in segment 4: %v", err)
+	}
+	j2.Close()
+}
+
+func TestJournalBadSegmentHeaderStillReplaysRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openDir(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := j.AppendSync(submitRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0x01 // damage the header line
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats := openDir(t, dir)
+	if stats.BadHeaders != 1 || len(recs) != 3 {
+		t.Fatalf("replayed %d records, stats %+v; want 3 despite one bad header", len(recs), stats)
 	}
 }
 
 // TestJournalReplay10kUnder1s pins the acceptance bound: a cold-start
-// replay of a 10 000-record journal must complete in under a second.
+// replay of a 10 000-record journal must complete in under a second,
+// segments included.
 func TestJournalReplay10kUnder1s(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal")
-	j, _, _, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	j, _, _ := openDir(t, dir)
 	const n = 10_000
 	for i := 0; i < n; i++ {
 		if err := j.Append(submitRec(i)); err != nil {
@@ -251,11 +392,8 @@ func TestJournalReplay10kUnder1s(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, recs, stats, err := OpenJournal(path)
+	_, recs, stats := openDir(t, dir)
 	elapsed := time.Since(start)
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(recs) != n || stats.Corrupt != 0 {
 		t.Fatalf("replayed %d records (%d corrupt), want %d clean", len(recs), stats.Corrupt, n)
 	}

@@ -7,14 +7,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // EntrySchema identifies the cache-entry file layout; bump on
 // incompatible changes.
 const EntrySchema = "apusim-cache-entry/v1"
+
+// QuarantineKeep bounds the quarantine directory: only the newest
+// entries up to this count are kept, so a daemon that keeps hitting
+// corrupt media cannot fill the disk with evidence.
+const QuarantineKeep = 32
 
 // Entry is one stored result: the terminal state a run reached, how many
 // attempts produced it, and the exact manifest bytes.
@@ -33,9 +41,16 @@ type StoreStats struct {
 	// Quarantined counts corrupt or truncated entries moved aside —
 	// cumulative since Open, including the open-time sweep.
 	Quarantined int64
+	// QuarantinePruned counts quarantined files deleted to keep the
+	// quarantine dir bounded at QuarantineKeep entries.
+	QuarantinePruned int64
 	// PutErrors counts writes that failed to reach disk.
 	PutErrors int64
 }
+
+// quarantineSeq disambiguates quarantine file names minted in the same
+// nanosecond, process-wide.
+var quarantineSeq atomic.Int64
 
 // Store is a disk-backed content-addressed entry store. Keys are
 // "sha256:<64 hex>" content addresses; each entry lives in its own file
@@ -43,6 +58,7 @@ type StoreStats struct {
 // on every read. Corrupt entries are quarantined into dir/quarantine and
 // never served. All methods are safe for concurrent use.
 type Store struct {
+	fs         FS
 	dir        string // entries
 	quarantine string
 	tmp        string
@@ -52,40 +68,44 @@ type Store struct {
 	stats    StoreStats
 }
 
-// OpenStore opens (creating if needed) the store rooted at dir. Leftover
-// temporary files from an interrupted write are removed, and every
-// resident entry is verified: corrupt or truncated files are quarantined
-// immediately, so the store OpenStore returns serves only intact entries.
-func OpenStore(dir string) (*Store, error) {
+// OpenStore opens (creating if needed) the store rooted at dir on the
+// given filesystem (nil = the real one). Leftover temporary files from
+// an interrupted write are removed, and every resident entry is
+// verified: corrupt or truncated files are quarantined immediately, so
+// the store OpenStore returns serves only intact entries.
+func OpenStore(fsys FS, dir string) (*Store, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
 	s := &Store{
+		fs:         fsys,
 		dir:        filepath.Join(dir, "cache"),
 		quarantine: filepath.Join(dir, "quarantine"),
 		tmp:        filepath.Join(dir, "tmp"),
 		resident:   make(map[string]int64),
 	}
 	for _, d := range []string{s.dir, s.quarantine, s.tmp} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("durable: creating %s: %w", d, err)
 		}
 	}
 	// A crash mid-Put leaves a tmp file; the rename never happened, so
 	// the entry simply does not exist yet and the leftover is garbage.
-	if tmps, err := os.ReadDir(s.tmp); err == nil {
-		for _, e := range tmps {
-			_ = os.Remove(filepath.Join(s.tmp, e.Name()))
+	if tmps, err := fsys.ReadDir(s.tmp); err == nil {
+		for _, name := range tmps {
+			_ = fsys.Remove(filepath.Join(s.tmp, name))
 		}
 	}
-	ents, err := os.ReadDir(s.dir)
+	ents, err := fsys.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("durable: scanning %s: %w", s.dir, err)
 	}
-	for _, e := range ents {
-		name := e.Name()
+	for _, name := range ents {
 		if !strings.HasSuffix(name, ".entry") {
 			continue
 		}
 		path := filepath.Join(s.dir, name)
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			s.quarantineFile(name)
 			continue
@@ -100,6 +120,7 @@ func OpenStore(dir string) (*Store, error) {
 		s.stats.Bytes += int64(len(data))
 		s.mu.Unlock()
 	}
+	s.pruneQuarantine()
 	return s, nil
 }
 
@@ -178,7 +199,7 @@ func (s *Store) Get(key string) (Entry, bool) {
 	if err != nil {
 		return Entry{}, false
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return Entry{}, false
 	}
@@ -201,7 +222,7 @@ func (s *Store) Put(key string, e Entry) error {
 		return err
 	}
 	data := EncodeEntry(e)
-	if err := writeAtomic(filepath.Join(s.tmp, name+".tmp"), filepath.Join(s.dir, name), data); err != nil {
+	if err := writeAtomic(s.fs, filepath.Join(s.tmp, name+".tmp"), filepath.Join(s.dir, name), data); err != nil {
 		s.countPutError()
 		return fmt.Errorf("durable: storing %s: %w", key, err)
 	}
@@ -220,56 +241,44 @@ func (s *Store) Put(key string, e Entry) error {
 // writeAtomic writes data to tmp, fsyncs it, renames it over dst, and
 // fsyncs the destination directory (best effort) so the rename itself
 // survives a crash.
-func writeAtomic(tmp, dst string, data []byte) error {
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeAtomic(fsys FS, tmp, dst string, data []byte) error {
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, dst); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, dst); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if d, err := os.Open(filepath.Dir(dst)); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = fsys.SyncDir(filepath.Dir(dst))
 	return nil
 }
 
-// quarantineFile moves a corrupt entry aside so it is never read again,
-// picking a non-colliding name if the same entry has been quarantined
-// before.
+// quarantineFile moves a corrupt entry aside so it is never read again.
+// The quarantine name carries the wall-clock nanos and a process-wide
+// sequence number, so two quarantines of the same entry — even in the
+// same nanosecond — can never collide.
 func (s *Store) quarantineFile(name string) {
 	src := filepath.Join(s.dir, name)
-	for i := 0; ; i++ {
-		qname := name
-		if i > 0 {
-			qname = fmt.Sprintf("%s.%d", name, i)
-		}
-		dst := filepath.Join(s.quarantine, qname)
-		if _, err := os.Lstat(dst); err == nil {
-			continue
-		}
-		if err := os.Rename(src, dst); err != nil {
-			// The file may already be gone (racing quarantine); either
-			// way it is no longer servable.
-			_ = os.Remove(src)
-		}
-		break
+	qname := fmt.Sprintf("%s.%d.%06d", name, time.Now().UnixNano(), quarantineSeq.Add(1))
+	if err := s.fs.Rename(src, filepath.Join(s.quarantine, qname)); err != nil {
+		// The file may already be gone (racing quarantine); either way
+		// it is no longer servable.
+		_ = s.fs.Remove(src)
 	}
 	s.mu.Lock()
 	if old, ok := s.resident[name]; ok {
@@ -279,6 +288,59 @@ func (s *Store) quarantineFile(name string) {
 	}
 	s.stats.Quarantined++
 	s.mu.Unlock()
+	s.pruneQuarantine()
+}
+
+// pruneQuarantine bounds the quarantine dir to the newest QuarantineKeep
+// files. Age comes from the nanotime embedded in the quarantine name
+// (mtime for pre-suffix legacy names), so pruning is stable even on
+// filesystems with coarse timestamps.
+func (s *Store) pruneQuarantine() {
+	names, err := s.fs.ReadDir(s.quarantine)
+	if err != nil || len(names) <= QuarantineKeep {
+		return
+	}
+	type qfile struct {
+		name string
+		age  int64
+	}
+	files := make([]qfile, 0, len(names))
+	for _, name := range names {
+		files = append(files, qfile{name: name, age: quarantineAge(s.fs, s.quarantine, name)})
+	}
+	sort.Slice(files, func(i, k int) bool {
+		if files[i].age != files[k].age {
+			return files[i].age < files[k].age // oldest first
+		}
+		return files[i].name < files[k].name
+	})
+	var pruned int64
+	for _, f := range files[:len(files)-QuarantineKeep] {
+		if s.fs.Remove(filepath.Join(s.quarantine, f.name)) == nil {
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		s.mu.Lock()
+		s.stats.QuarantinePruned += pruned
+		s.mu.Unlock()
+	}
+}
+
+// quarantineAge extracts the quarantine timestamp from a file name
+// (<entry>.<unixnano>.<seq>), falling back to mtime for names minted
+// before the suffix scheme existed.
+func quarantineAge(fsys FS, dir, name string) int64 {
+	parts := strings.Split(name, ".")
+	if len(parts) >= 3 {
+		if ns, err := strconv.ParseInt(parts[len(parts)-2], 10, 64); err == nil {
+			return ns
+		}
+	}
+	if fi, err := fsys.Stat(filepath.Join(dir, name)); err == nil {
+		return fi.ModTime().UnixNano()
+	}
+	return 0
 }
 
 func (s *Store) countPutError() {

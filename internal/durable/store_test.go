@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +19,7 @@ func testKey(s string) string {
 
 func TestStoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatalf("OpenStore: %v", err)
 	}
@@ -47,7 +49,7 @@ func TestStoreRoundTrip(t *testing.T) {
 
 func TestStoreSurvivesReopen(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestStoreSurvivesReopen(t *testing.T) {
 	if err := s.Put(key, want); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := OpenStore(dir)
+	s2, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -73,7 +75,7 @@ func TestStoreSurvivesReopen(t *testing.T) {
 // way, returning the entry file's path.
 func writeEntryFile(t *testing.T, dir, key string) string {
 	t.Helper()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestStoreQuarantinesCorruptionAtOpen(t *testing.T) {
 			path := writeEntryFile(t, dir, key)
 			tc.corrupt(t, path)
 
-			s, err := OpenStore(dir)
+			s, err := OpenStore(nil, dir)
 			if err != nil {
 				t.Fatalf("OpenStore over corrupt entry: %v", err)
 			}
@@ -156,7 +158,7 @@ func TestStoreQuarantinesCorruptionAtOpen(t *testing.T) {
 func TestStoreQuarantinesCorruptionAtRead(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey("late-victim")
-	s, err := OpenStore(dir)
+	s, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +184,14 @@ func TestStoreQuarantinesCorruptionAtRead(t *testing.T) {
 
 func TestStoreRemovesTornTmpFiles(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := OpenStore(dir); err != nil {
+	if _, err := OpenStore(nil, dir); err != nil {
 		t.Fatal(err)
 	}
 	torn := filepath.Join(dir, "tmp", "deadbeef.entry.tmp")
 	if err := os.WriteFile(torn, []byte("half a write"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenStore(dir); err != nil {
+	if _, err := OpenStore(nil, dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(torn); !os.IsNotExist(err) {
@@ -199,7 +201,7 @@ func TestStoreRemovesTornTmpFiles(t *testing.T) {
 
 func TestStoreRejectsMalformedKeys(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,6 +237,54 @@ func TestEncodeDecodeEntryExhaustiveTruncation(t *testing.T) {
 		mut[i] ^= 1
 		if _, err := DecodeEntry(mut); err == nil {
 			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		}
+	}
+}
+
+func TestStoreQuarantineBounded(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	// Far more corrupt entries than the quarantine keeps.
+	total := QuarantineKeep + 8
+	for i := 0; i < total; i++ {
+		name, err := entryName(testKey(fmt.Sprintf("corrupt-%d", i)))
+		if err != nil {
+			t.Fatalf("entryName: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(cacheDir, name), []byte("garbage"), 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	s, err := OpenStore(nil, dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != int64(total) {
+		t.Fatalf("Quarantined = %d, want %d", st.Quarantined, total)
+	}
+	if st.QuarantinePruned != int64(total-QuarantineKeep) {
+		t.Fatalf("QuarantinePruned = %d, want %d", st.QuarantinePruned, total-QuarantineKeep)
+	}
+	names, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatalf("ReadDir quarantine: %v", err)
+	}
+	if len(names) != QuarantineKeep {
+		t.Fatalf("quarantine holds %d files, want exactly %d", len(names), QuarantineKeep)
+	}
+	// Every kept name carries the <entry>.<unixnano>.<seq> suffix, so two
+	// quarantines of the same entry can never collide.
+	for _, de := range names {
+		parts := strings.Split(de.Name(), ".")
+		if len(parts) < 4 { // <hex>.entry.<nanos>.<seq>
+			t.Fatalf("quarantine name %q missing nanos/seq suffix", de.Name())
+		}
+		if _, err := strconv.ParseInt(parts[len(parts)-2], 10, 64); err != nil {
+			t.Fatalf("quarantine name %q has non-numeric nanos: %v", de.Name(), err)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/durable"
 )
@@ -58,6 +59,15 @@ type Cache struct {
 	// store keeps the bytes, so an evicted result costs one disk read, not
 	// a re-simulation.
 	store *durable.Store
+	// storeWrites gates the write-through path: the server flips it off
+	// when storage durability degrades, so the memory tier keeps serving
+	// while a failing disk is never written to. Reads stay enabled — a
+	// read failure is handled per-entry by quarantine.
+	storeWrites atomic.Bool
+	// onStoreError, when set, observes each write-through failure (the
+	// server's storage circuit breaker). Set before the cache is shared;
+	// not synchronized.
+	onStoreError func(error)
 }
 
 // cacheItem is one resident entry with its key, for reverse lookup during
@@ -76,7 +86,18 @@ func NewCache(budget int64) *Cache {
 
 // AttachStore layers a durable store under the memory tier. Call before
 // the cache is shared across goroutines; attachment is not synchronized.
-func (c *Cache) AttachStore(s *durable.Store) { c.store = s }
+func (c *Cache) AttachStore(s *durable.Store) {
+	c.store = s
+	c.storeWrites.Store(true)
+}
+
+// SetStoreWrites enables or disables write-through to the durable store.
+// Safe to call concurrently with Put.
+func (c *Cache) SetStoreWrites(on bool) { c.storeWrites.Store(on) }
+
+// SetStoreErrorHook installs the write-through failure observer. Call
+// before the cache is shared; installation is not synchronized.
+func (c *Cache) SetStoreErrorHook(fn func(error)) { c.onStoreError = fn }
 
 // Get returns the entry stored under key, marking it most recently used.
 // On a memory miss it falls through to the durable store (if attached)
@@ -147,10 +168,15 @@ func (c *Cache) Put(key string, e Entry) {
 	store := c.store
 	disabled := c.budget <= 0
 	c.mu.Unlock()
-	if store != nil && !disabled {
+	if store != nil && !disabled && c.storeWrites.Load() {
 		// Write-through failure is survivable — the memory tier still
-		// serves the entry; the store records it in its PutErrors stat.
-		_ = store.Put(key, durable.Entry{State: string(e.State), Attempts: e.Attempts, Manifest: e.Manifest})
+		// serves the entry; the store records it in its PutErrors stat and
+		// the hook lets the server's circuit breaker stop further writes.
+		if err := store.Put(key, durable.Entry{State: string(e.State), Attempts: e.Attempts, Manifest: e.Manifest}); err != nil {
+			if c.onStoreError != nil {
+				c.onStoreError(err)
+			}
+		}
 	}
 }
 

@@ -24,13 +24,13 @@ func specKey(t *testing.T, spec string) string {
 	return s.Hash()
 }
 
-// writeJournal crafts a journal file under dir from the given records,
+// writeJournal crafts a journal under dir from the given records,
 // simulating what a crashed daemon left behind.
 func writeJournal(t *testing.T, dir string, recs ...durable.Record) {
 	t.Helper()
-	j, old, _, err := durable.OpenJournal(durable.JournalPath(dir))
+	j, old, _, err := durable.OpenJournalDir(nil, dir, durable.JournalOptions{})
 	if err != nil {
-		t.Fatalf("OpenJournal: %v", err)
+		t.Fatalf("OpenJournalDir: %v", err)
 	}
 	if len(old) != 0 {
 		t.Fatalf("journal at %s already has %d records", dir, len(old))
@@ -144,7 +144,7 @@ func TestRecoveryFinishesStartedJobFromStoreWithoutRerun(t *testing.T) {
 	spec := `{"experiment": "exp-5"}`
 	key := specKey(t, spec)
 	manifest := []byte(`{"schema":"apusim-run-manifest/v1","synthetic":true}`)
-	store, err := durable.OpenStore(dir)
+	store, err := durable.OpenStore(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,9 +23,13 @@ const (
 	JobOK       JobState = "ok"
 	JobDegraded JobState = "degraded"
 	JobViolated JobState = "violated"
-	// JobFailed covers the remaining runner failures: errors, panics,
-	// and timeouts. The status record's Error field says which.
+	// JobFailed covers the remaining runner failures: errors and panics.
+	// The status record's Error field says which.
 	JobFailed JobState = "failed"
+	// JobTimeout marks a job that exceeded its wall-clock deadline — the
+	// spec's timeout_ms or the server default. Terminal but never cached:
+	// a timeout is a property of this run's wall clock, not of the spec.
+	JobTimeout JobState = "timeout"
 	// JobCancelled marks a job stopped by a forced shutdown before it
 	// could finish.
 	JobCancelled JobState = "cancelled"
@@ -39,7 +43,7 @@ const (
 // Terminal reports whether the state ends the lifecycle.
 func (s JobState) Terminal() bool {
 	switch s {
-	case JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled:
+	case JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled, JobTimeout:
 		return true
 	}
 	return false
@@ -91,6 +95,14 @@ type JobStatus struct {
 	// Recovered marks a job rebuilt from the journal after a restart
 	// rather than submitted to this process.
 	Recovered bool `json:"recovered,omitempty"`
+	// NonDurable marks a job admitted while storage durability was
+	// degraded: it runs and completes normally but is not journaled, so a
+	// crash before completion loses it. Cleared on queued/running jobs
+	// when the durability probe re-arms the journal (they are re-recorded
+	// by the recovery checkpoint).
+	NonDurable bool `json:"non_durable,omitempty"`
+	// TimeoutMS echoes the spec's wall-clock deadline, when one was set.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Transitions is the recorded lifecycle so far.
 	Transitions []Transition `json:"transitions"`
 }
@@ -107,6 +119,12 @@ type Job struct {
 	traceID   string
 	seq       int  // admission order, stable across journal replay
 	recovered bool // rebuilt from the journal after a restart
+	// bootTerminal marks a job that was already terminal when this process
+	// rebuilt it from the journal. Checkpoints drop such jobs (their
+	// results live in the store; their records survive one restart only),
+	// while jobs that reached a terminal state in THIS process stay
+	// journaled until the next boot's checkpoint retires them.
+	bootTerminal bool
 
 	mu          sync.Mutex
 	state       JobState
@@ -114,6 +132,7 @@ type Job struct {
 	attempts    int
 	cacheHit    bool
 	coalesced   bool
+	nonDurable  bool
 	manifest    []byte
 	transitions []Transition
 	subs        []chan JobStatus
@@ -136,6 +155,10 @@ func (j *Job) Status() JobStatus {
 
 func (j *Job) statusLocked() JobStatus {
 	queued, run, e2e := j.stageNanosLocked()
+	var timeoutMS int64
+	if j.spec != nil {
+		timeoutMS = j.spec.TimeoutMS
+	}
 	return JobStatus{
 		ID:          j.id,
 		Tenant:      j.tenant,
@@ -151,6 +174,8 @@ func (j *Job) statusLocked() JobStatus {
 		Error:       j.errMsg,
 		HasManifest: len(j.manifest) > 0 || (j.recovered && cacheable(j.state)),
 		Recovered:   j.recovered,
+		NonDurable:  j.nonDurable,
+		TimeoutMS:   timeoutMS,
 		Transitions: append([]Transition(nil), j.transitions...),
 	}
 }
@@ -205,6 +230,26 @@ func (j *Job) markCoalesced() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.coalesced = true
+}
+
+// markNonDurable flags a job admitted while durability was degraded: it
+// was never journaled, so its 202 promises execution, not crash
+// survival.
+func (j *Job) markNonDurable() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.nonDurable = true
+}
+
+// clearNonDurable removes the degraded-admission mark once the job is
+// journaled again (the recovery checkpoint re-records every pending
+// job). Terminal jobs keep the mark: their results were never persisted.
+func (j *Job) clearNonDurable() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		j.nonDurable = false
+	}
 }
 
 // Manifest returns the job's stored manifest bytes, or nil if the job has

@@ -133,6 +133,7 @@ type DebugSnapshot struct {
 	Schema        string           `json:"schema"`
 	At            time.Time        `json:"at"`
 	Draining      bool             `json:"draining"`
+	Durability    string           `json:"durability"`
 	Workers       []WorkerDebug    `json:"workers"`
 	QueueDepth    int              `json:"queue_depth"`
 	QueueCapacity int              `json:"queue_capacity"`
@@ -154,6 +155,7 @@ func (s *Server) DebugSnapshot() DebugSnapshot {
 		Schema:        debugSchema,
 		At:            time.Now().UTC(),
 		Draining:      s.drainingFlag.Load(),
+		Durability:    s.durabilityStateName(),
 		Workers:       make([]WorkerDebug, len(s.workerStates)),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: s.cfg.QueueDepth,
@@ -182,11 +184,18 @@ func (s *Server) DebugSnapshot() DebugSnapshot {
 	}
 	if s.journal != nil {
 		js := s.journal.Stats()
-		snap.Journal = map[string]int64{"appends": js.Appends, "syncs": js.Syncs}
+		snap.Journal = map[string]int64{
+			"appends": js.Appends, "syncs": js.Syncs,
+			"segments": js.Segments, "checkpoints": js.Checkpoints,
+		}
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
-		snap.Store = map[string]int64{"entries": int64(ss.Entries), "quarantined": int64(ss.Quarantined)}
+		snap.Store = map[string]int64{
+			"entries":     int64(ss.Entries),
+			"quarantined": int64(ss.Quarantined),
+			"pruned":      int64(ss.QuarantinePruned),
+		}
 	}
 	snap.Recovery = map[string]int64{}
 	for outcome, v := range s.recovered {

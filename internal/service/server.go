@@ -49,6 +49,28 @@ type Config struct {
 	// every admission is journaled, so a restart replays interrupted work
 	// instead of losing it. Empty keeps the daemon memory-only.
 	DataDir string
+	// FS is the filesystem the durability layer runs on; nil selects the
+	// real one. Tests inject a durable.FaultFS here to exercise every
+	// disk-failure branch in-process.
+	FS durable.FS
+	// RequireDurability refuses submissions with 503 while storage
+	// durability is degraded, instead of accepting them as non-durable
+	// work. For deployments where an unjournaled 202 is worse than an
+	// error.
+	RequireDurability bool
+	// DurabilityProbe is the cadence at which a degraded server re-tests
+	// its data dir and, on success, re-arms durability with a journal
+	// checkpoint; <= 0 selects 2s.
+	DurabilityProbe time.Duration
+	// JournalSegmentBytes is the journal's segment rotation threshold;
+	// <= 0 selects the durable package default (1 MiB).
+	JournalSegmentBytes int64
+	// MaxQueueWait, when positive, arms latency-aware admission: once the
+	// observed p95 queue wait exceeds it while the server is backlogged,
+	// fresh submissions are shed with 429 + Retry-After. Depth-based
+	// shedding still applies; this catches queues that are shallow but
+	// slow.
+	MaxQueueWait time.Duration
 	// RetryBackoff is the base delay between a job's retry attempts;
 	// <= 0 selects 100ms. Delays grow exponentially per attempt with
 	// deterministic jitter and are capped at 10x the base.
@@ -77,10 +99,18 @@ type Server struct {
 
 	// store and journal are the durability layer; both nil when
 	// Config.DataDir is empty. journalClose makes the flush-on-drain
-	// idempotent (tests call Drain more than once).
+	// idempotent (tests call Drain more than once). fs is the filesystem
+	// everything durable runs on (Config.FS or the real one). durability
+	// is the storage circuit breaker's state (durabilityNone/OK/Degraded):
+	// a journal or store write failure trips it to degraded memory-only
+	// mode, and the background probe re-arms it.
 	store        *durable.Store
 	journal      *durable.Journal
 	journalClose sync.Once
+	fs           durable.FS
+	durability   atomic.Int32
+	probeStop    chan struct{}
+	compactCh    chan struct{}
 
 	metrics        *telemetry.Set
 	submitted      *telemetry.Var
@@ -93,6 +123,9 @@ type Server struct {
 	workerPanics   *telemetry.Var
 	workerRestarts *telemetry.Var
 	shedRetryAfter *telemetry.Var
+	degradedTotal  *telemetry.Var
+	recoveredDur   *telemetry.Var
+	queueWait      *telemetry.Histogram
 
 	// The observability plane (observe.go): structured logger, flight
 	// recorder, per-worker state slots, and the lazily registered
@@ -121,6 +154,12 @@ type Server struct {
 	followers      map[string][]*Job // content key → jobs coalesced onto it
 	tenantInFlight map[string]int
 	running        int
+	// pendingEnqueue counts fresh admissions that have left the depth
+	// check but not yet pushed onto the queue: the WAL fsync now happens
+	// between the two (an admission must be durable before its 202, and
+	// a failed fsync must be able to un-admit), so the reservation keeps
+	// the channel send non-blocking and the depth bound exact.
+	pendingEnqueue int
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -153,6 +192,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WatchHeartbeat <= 0 {
 		cfg.WatchHeartbeat = 15 * time.Second
 	}
+	if cfg.DurabilityProbe <= 0 {
+		cfg.DurabilityProbe = 2 * time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = durable.OS()
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -167,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 		flight:         newFlightRecorder(cfg.FlightEvents),
 		workerStates:   make([]atomic.Pointer[workerState], cfg.Workers),
 		tenantSheds:    make(map[string]*telemetry.Var),
+		fs:             cfg.FS,
+		probeStop:      make(chan struct{}),
+		compactCh:      make(chan struct{}, 1),
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.initMetrics()
@@ -189,6 +237,13 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	if s.journal != nil {
+		// The durability loop owns the recovery probe (re-arming a
+		// degraded server) and background journal compaction; it exits
+		// when Drain closes probeStop.
+		s.wg.Add(1)
+		go s.durabilityLoop()
+	}
 	return s, nil
 }
 
@@ -201,13 +256,13 @@ func (s *Server) initMetrics() {
 	s.submitted = m.Counter("apusimd_jobs_submitted_total",
 		"Jobs accepted for processing, including cache hits and coalesced jobs.")
 	s.rejected = map[string]*telemetry.Var{}
-	for _, reason := range []string{"queue_full", "tenant_limit", "draining", "invalid"} {
+	for _, reason := range []string{"queue_full", "tenant_limit", "draining", "invalid", "durability", "queue_slow"} {
 		s.rejected[reason] = m.Counter("apusimd_jobs_rejected_total",
 			"Submissions refused at admission, by reason.",
 			telemetry.Label{Key: "reason", Value: reason})
 	}
 	s.completed = map[JobState]*telemetry.Var{}
-	for _, st := range []JobState{JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled} {
+	for _, st := range []JobState{JobOK, JobDegraded, JobViolated, JobFailed, JobCancelled, JobTimeout} {
 		s.completed[st] = m.Counter("apusimd_jobs_completed_total",
 			"Jobs that reached a terminal state, by state.",
 			telemetry.Label{Key: "state", Value: string(st)})
@@ -281,6 +336,56 @@ func (s *Server) initMetrics() {
 		})
 	s.journalErrors = m.Counter("apusimd_journal_errors_total",
 		"Journal appends or syncs that failed (jobs still ran, durability degraded).")
+	m.GaugeFunc("apusimd_journal_segments",
+		"Journal segment files currently on disk.",
+		func() float64 {
+			if s.journal == nil {
+				return 0
+			}
+			return float64(s.journal.Stats().Segments)
+		})
+	m.CounterFunc("apusimd_journal_checkpoints_total",
+		"Journal compactions: the live record set rewritten into a fresh segment.",
+		func() float64 {
+			if s.journal == nil {
+				return 0
+			}
+			return float64(s.journal.Stats().Checkpoints)
+		})
+	m.CounterFunc("apusimd_store_put_errors_total",
+		"Durable store writes that failed to reach disk.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().PutErrors)
+		})
+	m.CounterFunc("apusimd_store_quarantined_pruned_total",
+		"Quarantined entries deleted to keep the quarantine dir bounded.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().QuarantinePruned)
+		})
+	m.GaugeFunc("apusimd_durability_armed",
+		"1 while admissions are journaled durably; 0 in degraded or memory-only mode.",
+		func() float64 {
+			if s.durability.Load() == durabilityOK {
+				return 1
+			}
+			return 0
+		})
+	s.degradedTotal = m.Counter("apusimd_durability_degraded_total",
+		"Times a storage failure tripped the server into degraded memory-only mode.")
+	s.recoveredDur = m.Counter("apusimd_durability_recovered_total",
+		"Times the background probe re-armed durability after degradation.")
+	s.queueWait = m.Histogram("apusimd_queue_wait_seconds",
+		"Admission-to-pickup wall-clock wait across all jobs that reached a worker (drives latency-aware admission).",
+		telemetry.LatencyBuckets())
+	m.GaugeFunc("apusimd_queue_wait_p95_seconds",
+		"p95 of apusimd_queue_wait_seconds: the latency-aware admission signal.",
+		func() float64 { return s.queueWait.Quantile(0.95) })
 	s.workerPanics = m.Counter("apusimd_worker_panics_total",
 		"Panics that escaped a job and were isolated by the worker supervisor.")
 	s.workerRestarts = m.Counter("apusimd_worker_restarts_total",
@@ -355,6 +460,12 @@ func (s *Server) processJob(id int, job *Job) {
 		return
 	}
 	job.setState(JobRunning)
+	// The admission-to-pickup wait feeds latency-aware admission: once
+	// p95 exceeds Config.MaxQueueWait under backlog, fresh submissions
+	// shed before joining a queue that is already too slow.
+	if st := job.Status(); st.QueuedNS > 0 {
+		s.queueWait.Observe(float64(st.QueuedNS) / 1e9)
+	}
 	s.log.Info("job started",
 		"worker", id, "job_id", job.id, "trace_id", job.traceID,
 		"tenant", job.tenant, "experiment", exp)
@@ -414,14 +525,28 @@ func (s *Server) simulate(job *Job) (runner.Result, []byte) {
 		})
 		id = "faultplan"
 	}
+	// The job's wall-clock deadline: the spec's timeout_ms may only
+	// tighten the server default. Spec deadlines are enforced twice over —
+	// the runner's per-attempt timer and a real deadline on the run
+	// context — so a spec that retries cannot stretch its budget.
+	timeout := s.cfg.JobTimeout
+	runCtx := s.runCtx
+	if spec.TimeoutMS > 0 {
+		if d := time.Duration(spec.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(s.runCtx, timeout)
+		defer cancel()
+	}
 	opts := runner.Options{
 		Parallel:        1,
 		IDs:             []string{id},
-		Timeout:         s.cfg.JobTimeout,
+		Timeout:         timeout,
 		Retries:         spec.Retries,
 		RetryBackoff:    s.cfg.RetryBackoff,
 		RetryBackoffMax: 10 * s.cfg.RetryBackoff,
-		Context:         s.runCtx,
+		Context:         runCtx,
 		SampleEvery:     sim.Time(spec.SampleNS) * sim.Nanosecond,
 		SpanSample:      1,
 		Audit:           spec.Audit,
@@ -437,6 +562,19 @@ func (s *Server) simulate(job *Job) (runner.Result, []byte) {
 	suite, err := reg.RunSuite(opts)
 	if err != nil {
 		return runner.Result{ID: id, Status: runner.StatusError, Err: err, Attempts: 1}, nil
+	}
+	// A spec deadline firing mid-attempt surfaces as a context
+	// cancellation, which is indistinguishable from shutdown inside the
+	// runner. Out here it is distinguishable: the job's own deadline
+	// expired while the server's run context is still live, so the
+	// outcome is a timeout, not a cancellation.
+	if spec.TimeoutMS > 0 && runCtx.Err() == context.DeadlineExceeded && s.runCtx.Err() == nil {
+		if r := &suite.Results[0]; r.Status == runner.StatusCancelled {
+			r.Status = runner.StatusTimeout
+			if r.Err == nil {
+				r.Err = fmt.Errorf("job exceeded its %v wall-clock deadline", timeout)
+			}
+		}
 	}
 	suite.Wall = 0
 	for i := range suite.Results {
@@ -460,7 +598,9 @@ func stateForStatus(st runner.Status) JobState {
 		return JobViolated
 	case runner.StatusCancelled:
 		return JobCancelled
-	default: // error, panic, timeout
+	case runner.StatusTimeout:
+		return JobTimeout
+	default: // error, panic
 		return JobFailed
 	}
 }
@@ -521,6 +661,7 @@ func (s *Server) finishJob(job *Job, state JobState, manifest []byte, errMsg str
 		s.journalAppend(durable.Record{Op: durable.OpDone, Job: f.id, State: string(state), Attempts: attempts})
 	}
 	s.journalSync()
+	s.maybeCompactJournal()
 }
 
 // Drain stops the server gracefully: new submissions are refused with
@@ -535,6 +676,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.draining = true
 		s.drainingFlag.Store(true)
 		close(s.queue)
+		close(s.probeStop) // stops the durability loop so wg.Wait can finish
 		s.log.Info("drain started", "queued", len(s.queue))
 		s.flight.Record(FlightEvent{Event: "drain"})
 	}
@@ -558,13 +700,26 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // closeJournal flushes and closes the journal once the pool is idle, so
-// buffered done records reach disk before the process exits.
+// buffered done records reach disk before the process exits. A graceful
+// drain leaves mostly terminal jobs, so the journal is first checkpointed
+// down to the (usually empty) live set — the next boot replays a handful
+// of records instead of the whole run history.
 func (s *Server) closeJournal() {
 	s.journalClose.Do(func() {
-		if s.journal != nil {
-			if err := s.journal.Close(); err != nil {
+		if s.journal == nil {
+			return
+		}
+		if s.durabilityOKNow() {
+			s.mu.Lock()
+			recs := s.checkpointRecords()
+			err := s.journal.Checkpoint(recs)
+			s.mu.Unlock()
+			if err != nil {
 				s.journalErrors.Inc()
 			}
+		}
+		if err := s.journal.Close(); err != nil {
+			s.journalErrors.Inc()
 		}
 	})
 }
@@ -666,19 +821,68 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// cache's hit/miss counters equal to "served from storage" /
 		// "simulated fresh".
 		if leader := s.leaders[key]; leader != nil {
+			if code, msg := s.refuseUndurableLocked(); code != 0 {
+				s.mu.Unlock()
+				s.rejected["durability"].Inc()
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, code, "%s", msg)
+				return
+			}
 			job := s.newJobLocked(tenant, spec, key)
 			job.coalesced = true
 			s.followers[key] = append(s.followers[key], job)
-			s.journalAppend(s.submitRecord(job))
+			// The admission record goes to the journal directly, not via
+			// journalAppend: a failure on this path must be able to revoke
+			// the admission, never silently degrade it after a 202.
+			durableAdmit := s.journal != nil && s.durabilityOKNow()
+			var appendErr error
+			if durableAdmit {
+				appendErr = s.journal.Append(s.submitRecord(job))
+			} else if s.journal != nil {
+				job.markNonDurable()
+			}
 			s.mu.Unlock()
-			// Sync before the 202: an acknowledged admission must survive
-			// a crash.
-			s.journalSync()
+			if durableAdmit {
+				// Sync before the 202: an acknowledged admission must
+				// survive a crash, so a failed fsync rolls the admission
+				// back with 503 instead of acknowledging it.
+				err := appendErr
+				if err == nil {
+					err = s.journal.Sync()
+				}
+				if err != nil {
+					s.journalErrors.Inc()
+					s.tripDurability("submit journal write", err)
+					s.mu.Lock()
+					if job.currentState().Terminal() {
+						// The leader finished during the fsync window: the
+						// follower holds a real completed result, so the
+						// honest response is the admission, not a 503.
+						s.mu.Unlock()
+					} else {
+						fols := s.followers[key]
+						for i, f := range fols {
+							if f == job {
+								s.followers[key] = append(fols[:i], fols[i+1:]...)
+								break
+							}
+						}
+						s.unregisterJobLocked(job)
+						s.mu.Unlock()
+						s.rejected["durability"].Inc()
+						w.Header().Set("Retry-After", "1")
+						writeErr(w, http.StatusServiceUnavailable,
+							"could not journal the admission durably: %v", err)
+						return
+					}
+				}
+			}
 			s.submitted.Inc()
 			s.coalesced.Inc()
 			s.log.Info("job admitted",
 				"job_id", job.id, "trace_id", job.traceID, "tenant", tenant,
-				"experiment", experimentLabel(spec), "coalesced", true)
+				"experiment", experimentLabel(spec), "coalesced", true,
+				"durability", s.durabilityStateName())
 			s.flight.Record(FlightEvent{Event: "coalesce", Job: job.id,
 				Trace: job.traceID, Tenant: tenant, Detail: experimentLabel(spec)})
 			writeJSON(w, http.StatusAccepted, job.Status())
@@ -714,7 +918,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Fresh admissions are bounded by the configured depth, not the
 	// channel capacity — after a crash the channel is oversized to hold
 	// replayed jobs, and that headroom is not new admission budget.
-	if len(s.queue) >= s.cfg.QueueDepth {
+	// pendingEnqueue counts admissions currently between their WAL fsync
+	// and their channel send, so reservations hold the bound exact.
+	if len(s.queue)+s.pendingEnqueue >= s.cfg.QueueDepth {
 		retry := s.retryAfterLocked()
 		s.mu.Unlock()
 		s.shed(tenant, "queue_full", retry)
@@ -722,27 +928,151 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d deep); retry with backoff", s.cfg.QueueDepth)
 		return
 	}
+	if p95, slow := s.queueTooSlowLocked(); slow {
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.shed(tenant, "queue_slow", retry)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeErr(w, http.StatusTooManyRequests,
+			"queue wait p95 %.2fs exceeds the %s bound; retry with backoff",
+			p95, s.cfg.MaxQueueWait)
+		return
+	}
+	if code, msg := s.refuseUndurableLocked(); code != 0 {
+		s.mu.Unlock()
+		s.rejected["durability"].Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, code, "%s", msg)
+		return
+	}
 	job := s.newJobLocked(tenant, spec, key)
-	if !spec.NoCache {
+	s.tenantInFlight[tenant]++
+	s.pendingEnqueue++
+	// The submit record is appended before the job becomes reachable via
+	// the queue, so it always precedes the worker's start record. It goes
+	// to the journal directly, not via journalAppend: a failure must be
+	// able to un-admit the job rather than silently degrade after a 202.
+	// The leader slot is NOT claimed yet — a concurrent duplicate during
+	// the fsync window below leads its own run (rare duplicate work)
+	// instead of coalescing onto an admission that may yet roll back.
+	durableAdmit := s.journal != nil && s.durabilityOKNow()
+	var appendErr error
+	if durableAdmit {
+		appendErr = s.journal.Append(s.submitRecord(job))
+	} else if s.journal != nil {
+		job.markNonDurable()
+	}
+	s.mu.Unlock()
+
+	if durableAdmit {
+		// Durable before the 202 acknowledgement: the fsync happens outside
+		// s.mu (it is the slowest step on the submit path), with the queue
+		// slot reserved above so the later channel send cannot block.
+		err := appendErr
+		if err == nil {
+			err = s.journal.Sync()
+		}
+		if err != nil {
+			s.journalErrors.Inc()
+			s.tripDurability("submit journal write", err)
+			s.mu.Lock()
+			s.pendingEnqueue--
+			s.unadmitFreshLocked(job)
+			s.mu.Unlock()
+			s.rejected["durability"].Inc()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable,
+				"could not journal the admission durably: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	s.pendingEnqueue--
+	if s.draining {
+		// Drain began during the fsync window and closed the queue channel;
+		// the job was never acknowledged, so roll the admission back.
+		s.unadmitFreshLocked(job)
+		s.mu.Unlock()
+		s.rejected["draining"].Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !spec.NoCache && s.leaders[key] == nil {
 		s.leaders[key] = job
 	}
-	s.tenantInFlight[tenant]++
-	// The submit record is appended before the job becomes reachable via
-	// the queue, so it always precedes the worker's start record.
-	s.journalAppend(s.submitRecord(job))
-	s.queue <- job // cannot block: depth checked under s.mu, only workers drain
+	s.queue <- job // cannot block: slot reserved via pendingEnqueue under s.mu
 	s.mu.Unlock()
-	s.journalSync() // durable before the 202 acknowledgement
 	s.submitted.Inc()
 	if !spec.NoCache {
 		s.misses.Inc()
 	}
 	s.log.Info("job admitted",
 		"job_id", job.id, "trace_id", job.traceID, "tenant", tenant,
-		"experiment", experimentLabel(spec), "spec_hash", key)
+		"experiment", experimentLabel(spec), "spec_hash", key,
+		"durability", s.durabilityStateName())
 	s.flight.Record(FlightEvent{Event: "submit", Job: job.id,
 		Trace: job.traceID, Tenant: tenant, Detail: experimentLabel(spec)})
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// refuseUndurableLocked is the RequireDurability gate: a non-zero status
+// code means the admission must be refused because it cannot be journaled
+// durably right now. s.mu must be held.
+func (s *Server) refuseUndurableLocked() (int, string) {
+	if s.journal == nil || s.durabilityOKNow() || !s.cfg.RequireDurability {
+		return 0, ""
+	}
+	return http.StatusServiceUnavailable,
+		"storage durability is degraded and this server requires durable admissions; retry shortly"
+}
+
+// minQueueWaitSamples is how many queue-wait observations the latency
+// shedder needs before it trusts the p95.
+const minQueueWaitSamples = 8
+
+// queueTooSlowLocked is the latency-aware admission check: shed when the
+// observed p95 queue wait exceeds Config.MaxQueueWait. It holds its fire
+// below a minimum sample count and while the server is idle — the
+// histogram never decays, so a slow period an hour ago must not shed on
+// a drained queue. s.mu must be held.
+func (s *Server) queueTooSlowLocked() (p95 float64, slow bool) {
+	if s.cfg.MaxQueueWait <= 0 || s.queueWait.Count() < minQueueWaitSamples {
+		return 0, false
+	}
+	if len(s.queue)+s.pendingEnqueue == 0 && s.running < s.cfg.Workers {
+		return 0, false
+	}
+	p95 = s.queueWait.Quantile(0.95)
+	return p95, p95 > s.cfg.MaxQueueWait.Seconds()
+}
+
+// unadmitFreshLocked rolls back a fresh admission whose WAL record never
+// reached disk (or whose queue closed mid-admission): the job was never
+// acknowledged, so every trace of it is removed as if the submit had been
+// refused outright. s.mu must be held.
+func (s *Server) unadmitFreshLocked(job *Job) {
+	if s.leaders[job.key] == job {
+		delete(s.leaders, job.key)
+	}
+	s.tenantInFlight[job.tenant]--
+	if s.tenantInFlight[job.tenant] <= 0 {
+		delete(s.tenantInFlight, job.tenant)
+	}
+	s.unregisterJobLocked(job)
+}
+
+// unregisterJobLocked removes a never-acknowledged job from the job
+// table and submission order. s.mu must be held.
+func (s *Server) unregisterJobLocked(job *Job) {
+	delete(s.jobs, job.id)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == job.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.jobsTotal.Add(-1)
 }
 
 // retryAfterLocked derives the Retry-After seconds advised on load-shed
@@ -874,7 +1204,7 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 var knownJobStates = map[JobState]bool{
 	JobQueued: true, JobRunning: true, JobInterrupted: true,
 	JobOK: true, JobDegraded: true, JobViolated: true,
-	JobFailed: true, JobCancelled: true,
+	JobFailed: true, JobCancelled: true, JobTimeout: true,
 }
 
 // handleList serves job statuses in stable submission order (recovered
@@ -919,15 +1249,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WritePromText(w)
 }
 
-// handleHealthz serves liveness plus the drain flag, so load balancers
-// can stop routing before shutdown completes.
+// handleHealthz serves liveness plus the drain flag and durability state,
+// so load balancers can stop routing before shutdown completes and
+// operators can spot a server running memory-only on a failing disk.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := struct {
-		Status   string `json:"status"`
-		Draining bool   `json:"draining"`
-		Jobs     int    `json:"jobs"`
-	}{Status: "ok", Draining: s.draining, Jobs: len(s.jobs)}
+		Status     string `json:"status"`
+		Draining   bool   `json:"draining"`
+		Durability string `json:"durability"`
+		Jobs       int    `json:"jobs"`
+	}{Status: "ok", Draining: s.draining, Durability: s.durabilityStateName(), Jobs: len(s.jobs)}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }

@@ -64,6 +64,13 @@ type Spec struct {
 	// Retries is how many extra attempts a failing run gets, each on a
 	// fresh engine.
 	Retries int `json:"retries,omitempty"`
+	// TimeoutMS is the job's wall-clock deadline in milliseconds; 0 means
+	// the server default. A spec deadline can only tighten the server's —
+	// the effective deadline is min(timeout_ms, server default). Jobs that
+	// exceed it reach the terminal "timeout" state. Part of the content
+	// hash: the deadline can change the outcome, so it is spec semantics,
+	// not an inert preference.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache in both directions: the job
 	// neither reads a stored manifest nor coalesces onto an in-flight
 	// duplicate, and its result is not stored. It is excluded from the
@@ -130,6 +137,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Retries < 0 || s.Retries > maxRetries {
 		return fmt.Errorf("service: retries %d outside [0, %d]", s.Retries, maxRetries)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", s.TimeoutMS)
 	}
 	return nil
 }
